@@ -1,0 +1,216 @@
+//! The Dirty-Block Index (paper §4.1, citing Seshadri et al., ISCA'14).
+//!
+//! Before fetching a gathered line, the memory controller must find
+//! dirty cache lines of the page's *other* pattern that overlap it. All
+//! such lines live in the same DRAM row, so the paper proposes indexing
+//! dirty bits *by DRAM row*: one bitmap of dirty columns per (row,
+//! pattern). A single lookup then answers "any dirty overlapping
+//! lines?", instead of probing every cache.
+//!
+//! The index is deliberately a *conservative over-approximation*: a set
+//! bit means "this line may be dirty somewhere in the hierarchy"; the
+//! caller confirms against the caches before acting. Bits are cleared
+//! when a line's data is written back to DRAM. This makes the structure
+//! safe to keep slightly stale on the clean side while never missing a
+//! dirty line — the property the coherence flush relies on.
+
+use crate::cache::LineKey;
+use gsdram_core::PatternId;
+use std::collections::HashMap;
+
+/// Identifies one DRAM row's worth of lines under one pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct RowKey {
+    row_base: u64,
+    pattern: PatternId,
+}
+
+/// Per-(row, pattern) dirty-column bitmaps.
+///
+/// ```
+/// use gsdram_cache::{cache::LineKey, dbi::DirtyBlockIndex};
+/// use gsdram_core::PatternId;
+/// let mut dbi = DirtyBlockIndex::table1();
+/// let key = LineKey::new(0x40, 64, PatternId(0));
+/// dbi.mark_dirty(key);
+/// // One lookup answers "any dirty pattern-0 lines in this DRAM row?"
+/// assert!(dbi.row_has_dirty(0x1000, PatternId(0)));
+/// assert!(!dbi.row_has_dirty(0x1000, PatternId(7)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DirtyBlockIndex {
+    line_bytes: u64,
+    cols_per_row: u64,
+    rows: HashMap<RowKey, u128>,
+    stats: DbiStats,
+}
+
+/// Operation counts, for the ablation comparing DBI lookups with
+/// full-cache scans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DbiStats {
+    /// Bits set.
+    pub marks: u64,
+    /// Bits cleared.
+    pub clears: u64,
+    /// Row-level queries answered.
+    pub row_queries: u64,
+    /// Row-level queries that found no dirty lines (the fast path the
+    /// paper's design exploits).
+    pub empty_row_queries: u64,
+}
+
+impl DirtyBlockIndex {
+    /// An index over rows of `cols_per_row` lines of `line_bytes` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols_per_row` exceeds 128 (one `u128` bitmap per row).
+    pub fn new(line_bytes: u64, cols_per_row: u64) -> Self {
+        assert!(cols_per_row <= 128, "one u128 bitmap per row");
+        DirtyBlockIndex { line_bytes, cols_per_row, rows: HashMap::new(), stats: DbiStats::default() }
+    }
+
+    /// The standard geometry: 64-byte lines, 128-line (8 KB) rows.
+    pub fn table1() -> Self {
+        Self::new(64, 128)
+    }
+
+    /// Operation counts so far.
+    pub fn stats(&self) -> DbiStats {
+        self.stats
+    }
+
+    fn split(&self, key: LineKey) -> (RowKey, u32) {
+        let row_bytes = self.line_bytes * self.cols_per_row;
+        let row_base = key.addr / row_bytes * row_bytes;
+        let col = ((key.addr - row_base) / self.line_bytes) as u32;
+        (RowKey { row_base, pattern: key.pattern }, col)
+    }
+
+    /// Marks `key` (possibly) dirty.
+    pub fn mark_dirty(&mut self, key: LineKey) {
+        let (rk, col) = self.split(key);
+        *self.rows.entry(rk).or_insert(0) |= 1u128 << col;
+        self.stats.marks += 1;
+    }
+
+    /// Clears `key`'s dirty bit (its data reached DRAM).
+    pub fn mark_clean(&mut self, key: LineKey) {
+        let (rk, col) = self.split(key);
+        if let Some(bits) = self.rows.get_mut(&rk) {
+            *bits &= !(1u128 << col);
+            if *bits == 0 {
+                self.rows.remove(&rk);
+            }
+        }
+        self.stats.clears += 1;
+    }
+
+    /// Whether `key` may be dirty.
+    pub fn may_be_dirty(&self, key: LineKey) -> bool {
+        let (rk, col) = self.split(key);
+        self.rows.get(&rk).is_some_and(|bits| bits & (1u128 << col) != 0)
+    }
+
+    /// Whether *any* line of `pattern` within the row containing `addr`
+    /// may be dirty — the single-lookup fast path of §4.1.
+    pub fn row_has_dirty(&mut self, addr: u64, pattern: PatternId) -> bool {
+        self.stats.row_queries += 1;
+        let (rk, _) = self.split(LineKey { addr, pattern });
+        let hit = self.rows.contains_key(&rk);
+        if !hit {
+            self.stats.empty_row_queries += 1;
+        }
+        hit
+    }
+
+    /// The possibly-dirty lines of `pattern` within the row containing
+    /// `addr`, as line keys.
+    pub fn dirty_lines_in_row(&self, addr: u64, pattern: PatternId) -> Vec<LineKey> {
+        let (rk, _) = self.split(LineKey { addr, pattern });
+        let Some(bits) = self.rows.get(&rk) else { return Vec::new() };
+        (0..self.cols_per_row as u32)
+            .filter(|c| bits & (1u128 << c) != 0)
+            .map(|c| LineKey { addr: rk.row_base + c as u64 * self.line_bytes, pattern })
+            .collect()
+    }
+
+    /// Number of rows with at least one dirty bit (occupancy metric).
+    pub fn occupied_rows(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(addr: u64, p: u8) -> LineKey {
+        LineKey::new(addr, 64, PatternId(p))
+    }
+
+    #[test]
+    fn mark_query_clear_round_trip() {
+        let mut dbi = DirtyBlockIndex::table1();
+        assert!(!dbi.may_be_dirty(key(0x40, 0)));
+        dbi.mark_dirty(key(0x40, 0));
+        assert!(dbi.may_be_dirty(key(0x40, 0)));
+        assert!(!dbi.may_be_dirty(key(0x80, 0)));
+        dbi.mark_clean(key(0x40, 0));
+        assert!(!dbi.may_be_dirty(key(0x40, 0)));
+        assert_eq!(dbi.occupied_rows(), 0);
+    }
+
+    #[test]
+    fn patterns_are_tracked_separately() {
+        let mut dbi = DirtyBlockIndex::table1();
+        dbi.mark_dirty(key(0x40, 0));
+        assert!(!dbi.may_be_dirty(key(0x40, 7)));
+        assert!(dbi.row_has_dirty(0x40, PatternId(0)));
+        assert!(!dbi.row_has_dirty(0x40, PatternId(7)));
+    }
+
+    #[test]
+    fn row_scope_is_8kb() {
+        let mut dbi = DirtyBlockIndex::table1();
+        dbi.mark_dirty(key(100, 0));
+        assert!(dbi.row_has_dirty(8191, PatternId(0)), "same row");
+        assert!(!dbi.row_has_dirty(8192, PatternId(0)), "next row");
+    }
+
+    #[test]
+    fn dirty_lines_enumeration() {
+        let mut dbi = DirtyBlockIndex::table1();
+        dbi.mark_dirty(key(0, 7));
+        dbi.mark_dirty(key(3 * 64, 7));
+        dbi.mark_dirty(key(127 * 64, 7));
+        let lines = dbi.dirty_lines_in_row(64, PatternId(7));
+        let addrs: Vec<u64> = lines.iter().map(|k| k.addr).collect();
+        assert_eq!(addrs, vec![0, 3 * 64, 127 * 64]);
+        assert!(lines.iter().all(|k| k.pattern == PatternId(7)));
+        assert!(dbi.dirty_lines_in_row(64, PatternId(0)).is_empty());
+    }
+
+    #[test]
+    fn clear_is_idempotent_and_safe_when_absent() {
+        let mut dbi = DirtyBlockIndex::table1();
+        dbi.mark_clean(key(0x40, 0)); // no-op
+        dbi.mark_dirty(key(0x40, 0));
+        dbi.mark_clean(key(0x40, 0));
+        dbi.mark_clean(key(0x40, 0));
+        assert!(!dbi.may_be_dirty(key(0x40, 0)));
+    }
+
+    #[test]
+    fn stats_count_fast_path() {
+        let mut dbi = DirtyBlockIndex::table1();
+        dbi.row_has_dirty(0, PatternId(0));
+        dbi.mark_dirty(key(0, 0));
+        dbi.row_has_dirty(0, PatternId(0));
+        let s = dbi.stats();
+        assert_eq!(s.row_queries, 2);
+        assert_eq!(s.empty_row_queries, 1);
+        assert_eq!(s.marks, 1);
+    }
+}

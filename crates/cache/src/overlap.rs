@@ -1,0 +1,187 @@
+//! Overlap computation for pattern-tagged cache lines (paper §4.1).
+//!
+//! Cache lines fetched with different pattern IDs may partially overlap
+//! in physical memory (e.g. a tuple line and a field line share one
+//! field). The paper restricts each page to two patterns — the default
+//! pattern 0 and one alternate — and keeps them coherent by:
+//!
+//! 1. flushing dirty overlapping other-pattern lines before a fetch, and
+//! 2. invalidating overlapping other-pattern lines when a line is
+//!    modified (at most `chips` invalidations per write — §4.4).
+//!
+//! This module computes those overlap sets. Both lines of an overlapping
+//! pair live in the same DRAM row, so all addresses stay within one
+//! row's address range.
+
+use crate::cache::LineKey;
+use gsdram_core::{column_containing, gathered_elements, ColumnId, GsDramConfig, PatternId};
+
+/// Computes overlaps between pattern-tagged lines for a given module
+/// configuration and row geometry.
+#[derive(Debug, Clone)]
+pub struct OverlapCalc {
+    cfg: GsDramConfig,
+    line_bytes: u64,
+    cols_per_row: u64,
+}
+
+impl OverlapCalc {
+    /// An overlap calculator for lines of `line_bytes` within rows of
+    /// `cols_per_row` lines.
+    pub fn new(cfg: GsDramConfig, line_bytes: u64, cols_per_row: u64) -> Self {
+        OverlapCalc { cfg, line_bytes, cols_per_row }
+    }
+
+    /// Bytes covered by one DRAM row.
+    pub fn row_bytes(&self) -> u64 {
+        self.line_bytes * self.cols_per_row
+    }
+
+    fn split(&self, addr: u64) -> (u64, ColumnId) {
+        let row_base = addr / self.row_bytes() * self.row_bytes();
+        let col = ((addr - row_base) / self.line_bytes) as u32;
+        (row_base, ColumnId(col))
+    }
+
+    /// The physical byte address of logical row element `e` relative to
+    /// `row_base`.
+    fn element_addr(&self, row_base: u64, e: usize) -> u64 {
+        let chips = self.cfg.chips() as u64;
+        row_base + (e as u64 / chips) * self.line_bytes + (e as u64 % chips) * 8
+    }
+
+    /// The byte addresses of the 8-byte words a line covers, in assembly
+    /// order (word `k` of the cached line holds the value at the `k`-th
+    /// returned address).
+    pub fn word_addresses(&self, key: LineKey, shuffled: bool) -> Vec<u64> {
+        let (row_base, col) = self.split(key.addr);
+        gathered_elements(&self.cfg, key.pattern, col, shuffled)
+            .into_iter()
+            .map(|e| self.element_addr(row_base, e))
+            .collect()
+    }
+
+    /// The lines of pattern `other` that share at least one word with
+    /// `key` (deduplicated, ascending). When `other == key.pattern` the
+    /// only overlapping line is `key` itself.
+    pub fn overlapping_lines(&self, key: LineKey, other: PatternId, shuffled: bool) -> Vec<LineKey> {
+        if other == key.pattern {
+            return vec![key];
+        }
+        let (row_base, col) = self.split(key.addr);
+        let mut out: Vec<LineKey> = gathered_elements(&self.cfg, key.pattern, col, shuffled)
+            .into_iter()
+            .map(|e| {
+                let c = column_containing(&self.cfg, other, e, shuffled);
+                LineKey {
+                    addr: row_base + c.0 as u64 * self.line_bytes,
+                    pattern: other,
+                }
+            })
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Whether two keys overlap (share at least one word).
+    pub fn overlaps(&self, a: LineKey, b: LineKey, shuffled: bool) -> bool {
+        if a.pattern == b.pattern {
+            return a == b;
+        }
+        self.overlapping_lines(a, b.pattern, shuffled).contains(&b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn calc() -> OverlapCalc {
+        OverlapCalc::new(GsDramConfig::gs_dram_8_3_3(), 64, 128)
+    }
+
+    #[test]
+    fn default_pattern_words_are_contiguous() {
+        let c = calc();
+        let key = LineKey { addr: 0x2000, pattern: PatternId(0) };
+        let words = c.word_addresses(key, true);
+        let want: Vec<u64> = (0..8).map(|i| 0x2000 + i * 8).collect();
+        assert_eq!(words, want);
+    }
+
+    #[test]
+    fn pattern7_words_stride_by_64() {
+        // A stride-8 gather covers word 0 of eight consecutive lines.
+        let c = calc();
+        let key = LineKey { addr: 0, pattern: PatternId(7) };
+        let words = c.word_addresses(key, true);
+        let want: Vec<u64> = (0..8).map(|i| i * 64).collect();
+        assert_eq!(words, want);
+    }
+
+    #[test]
+    fn tuple_line_overlaps_eight_field_lines() {
+        // §4.4: a write must check `chips` (8) lines of the other pattern.
+        let c = calc();
+        let tuple = LineKey { addr: 0x40, pattern: PatternId(0) };
+        let fields = c.overlapping_lines(tuple, PatternId(7), true);
+        assert_eq!(fields.len(), 8);
+        for f in &fields {
+            assert_eq!(f.pattern, PatternId(7));
+            assert!(c.overlaps(tuple, *f, true));
+            assert!(c.overlaps(*f, tuple, true));
+        }
+    }
+
+    #[test]
+    fn field_line_overlaps_eight_tuple_lines() {
+        let c = calc();
+        let field = LineKey { addr: 0, pattern: PatternId(7) };
+        let tuples = c.overlapping_lines(field, PatternId(0), true);
+        let want: Vec<u64> = (0..8).map(|i| i * 64).collect();
+        assert_eq!(tuples.iter().map(|k| k.addr).collect::<Vec<_>>(), want);
+    }
+
+    #[test]
+    fn same_pattern_overlap_is_identity() {
+        let c = calc();
+        let k = LineKey { addr: 0x80, pattern: PatternId(3) };
+        assert_eq!(c.overlapping_lines(k, PatternId(3), true), vec![k]);
+        assert!(c.overlaps(k, k, true));
+        let other = LineKey { addr: 0xc0, pattern: PatternId(3) };
+        assert!(!c.overlaps(k, other, true));
+    }
+
+    #[test]
+    fn overlap_symmetry_via_word_addresses() {
+        // Overlap judged structurally must agree with shared words.
+        let c = calc();
+        for pa in [0u8, 3, 7] {
+            for pb in [0u8, 3, 7] {
+                let a = LineKey { addr: 0x100, pattern: PatternId(pa) };
+                let wa = c.word_addresses(a, true);
+                for col in 0..16u64 {
+                    let b = LineKey { addr: col * 64, pattern: PatternId(pb) };
+                    let wb = c.word_addresses(b, true);
+                    let share = wa.iter().any(|w| wb.contains(w));
+                    assert_eq!(
+                        c.overlaps(a, b, true),
+                        share,
+                        "a={a:?} b={b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rows_do_not_leak() {
+        // Overlapping lines stay inside the row of the source line.
+        let c = calc();
+        let key = LineKey { addr: 8192 + 0x40, pattern: PatternId(0) };
+        for l in c.overlapping_lines(key, PatternId(7), true) {
+            assert!(l.addr >= 8192 && l.addr < 16384);
+        }
+    }
+}

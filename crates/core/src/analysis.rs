@@ -1,0 +1,214 @@
+//! Analysis utilities: chip-conflict counting (the Challenge-1 metric of
+//! §3.1) and the Figure 7 pattern table.
+
+use crate::{gathered_elements, ColumnId, GsDramConfig, PatternId};
+
+/// How a data structure's words are distributed across chips — the
+/// mapping schemes §3.2 compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MappingScheme {
+    /// The baseline of §2: word `i` of every cache line goes to chip `i`.
+    Naive,
+    /// The column-ID-based shuffle of §3.2 (with the configured shuffle
+    /// function).
+    Shuffled,
+}
+
+/// Counts chip conflicts when gathering `want` logical elements of a row:
+/// the number of extra READ commands needed beyond the first, i.e.
+/// `(max elements mapped to one chip) − 1` (§3.1: each chip supplies one
+/// word per READ).
+///
+/// ```
+/// use gsdram_core::{analysis::{chip_conflicts, MappingScheme}, GsDramConfig};
+/// let cfg = GsDramConfig::gs_dram_4_2_2();
+/// // First field of four tuples: elements 0,4,8,12.
+/// let want = [0, 4, 8, 12];
+/// // Naive mapping puts all four on chip 0 → 3 extra READs (Figure 3).
+/// assert_eq!(chip_conflicts(&cfg, MappingScheme::Naive, &want), 3);
+/// // The §3.2 shuffle spreads them across chips → zero conflicts.
+/// assert_eq!(chip_conflicts(&cfg, MappingScheme::Shuffled, &want), 0);
+/// ```
+pub fn chip_conflicts(cfg: &GsDramConfig, scheme: MappingScheme, elements: &[usize]) -> usize {
+    let mut per_chip = vec![0usize; cfg.chips()];
+    for &e in elements {
+        let col = ColumnId((e / cfg.chips()) as u32);
+        let word = e % cfg.chips();
+        let chip = match scheme {
+            MappingScheme::Naive => word,
+            MappingScheme::Shuffled => {
+                word ^ cfg.shuffle_fn().control(col, cfg.shuffle_stages()) as usize
+            }
+        };
+        per_chip[chip] += 1;
+    }
+    per_chip.iter().max().copied().unwrap_or(0).saturating_sub(1)
+}
+
+/// Number of READ commands required to gather one cache line's worth of a
+/// power-of-two stride from a row: `1 + chip_conflicts`.
+pub fn reads_for_stride(cfg: &GsDramConfig, scheme: MappingScheme, stride: usize) -> usize {
+    let elements: Vec<usize> = (0..cfg.chips()).map(|i| i * stride).collect();
+    1 + chip_conflicts(cfg, scheme, &elements)
+}
+
+/// One row of the Figure 7 table: the elements gathered by `(pattern,
+/// col)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternTableEntry {
+    /// The pattern ID of this row.
+    pub pattern: PatternId,
+    /// The issued column ID.
+    pub col: ColumnId,
+    /// Elements retrieved, in assembly order.
+    pub elements: Vec<usize>,
+}
+
+/// Reproduces Figure 7: for every pattern and the first `cols` column
+/// IDs, the gathered element indices.
+pub fn pattern_table(cfg: &GsDramConfig, cols: u32) -> Vec<PatternTableEntry> {
+    let mut out = Vec::new();
+    for pattern in cfg.patterns() {
+        for col in 0..cols {
+            out.push(PatternTableEntry {
+                pattern,
+                col: ColumnId(col),
+                elements: gathered_elements(cfg, pattern, ColumnId(col), true),
+            });
+        }
+    }
+    out
+}
+
+/// Human-readable stride description for a pattern (the "Stride = …"
+/// labels of Figure 7): uniform `2^k` strides for patterns `2^k − 1`,
+/// otherwise the observed sequence of gaps.
+pub fn stride_label(cfg: &GsDramConfig, pattern: PatternId) -> String {
+    if let Some(s) = pattern.stride() {
+        return format!("stride {s}");
+    }
+    let e = gathered_elements(cfg, pattern, ColumnId(0), true);
+    let mut gaps: Vec<usize> = Vec::new();
+    for w in e.windows(2) {
+        let g = w[1] - w[0];
+        if !gaps.contains(&g) {
+            gaps.push(g);
+        }
+    }
+    let strs: Vec<String> = gaps.iter().map(|g| g.to_string()).collect();
+    format!("stride {}", strs.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_mapping_conflicts_grow_with_stride() {
+        let cfg = GsDramConfig::gs_dram_8_3_3();
+        // Stride 1: no conflicts even naively.
+        assert_eq!(reads_for_stride(&cfg, MappingScheme::Naive, 1), 1);
+        // Stride 2 naive: elements 0,2,..,14 hit 4 distinct words twice each.
+        assert_eq!(reads_for_stride(&cfg, MappingScheme::Naive, 2), 2);
+        assert_eq!(reads_for_stride(&cfg, MappingScheme::Naive, 4), 4);
+        // Stride 8 naive: all eight elements on chip 0 (Figure 3).
+        assert_eq!(reads_for_stride(&cfg, MappingScheme::Naive, 8), 8);
+    }
+
+    #[test]
+    fn shuffled_mapping_has_zero_conflicts_for_all_pow2_strides() {
+        let cfg = GsDramConfig::gs_dram_8_3_3();
+        for stride in [1, 2, 4, 8] {
+            assert_eq!(
+                reads_for_stride(&cfg, MappingScheme::Shuffled, stride),
+                1,
+                "stride {stride}"
+            );
+        }
+    }
+
+    #[test]
+    fn shuffled_mapping_zero_conflicts_at_any_offset() {
+        // Not just from element 0: any aligned strided group within the
+        // row gathers conflict-free.
+        let cfg = GsDramConfig::gs_dram_8_3_3();
+        for stride in [2usize, 4, 8] {
+            for start in 0..stride {
+                let elements: Vec<usize> = (0..8).map(|i| start + i * stride).collect();
+                assert_eq!(
+                    chip_conflicts(&cfg, MappingScheme::Shuffled, &elements),
+                    0,
+                    "stride {stride} start {start}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_table_matches_figure7_family() {
+        // Figure 7 lists, per pattern, four disjoint 4-element sets
+        // covering 0..16. Verify the family property for GS-DRAM(4,2,2).
+        let cfg = GsDramConfig::gs_dram_4_2_2();
+        for pattern in cfg.patterns() {
+            let mut all: Vec<usize> = (0..4)
+                .flat_map(|c| gathered_elements(&cfg, pattern, ColumnId(c), true))
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..16).collect::<Vec<_>>(), "{pattern}");
+        }
+    }
+
+    #[test]
+    fn stride_labels() {
+        let cfg = GsDramConfig::gs_dram_4_2_2();
+        assert_eq!(stride_label(&cfg, PatternId(0)), "stride 1");
+        assert_eq!(stride_label(&cfg, PatternId(1)), "stride 2");
+        assert_eq!(stride_label(&cfg, PatternId(3)), "stride 4");
+        // Figure 7: "Pattern 2 has a dual stride of (1,7)".
+        assert_eq!(stride_label(&cfg, PatternId(2)), "stride 1,7");
+    }
+
+    #[test]
+    fn pair_patterns_fetch_field_pairs() {
+        // §3.5 use cases beyond uniform strides. GS-DRAM(4,2,2),
+        // pattern 1 on 16-byte key-value pairs: col 0 gathers the first
+        // four keys, col 1 the first four values.
+        let cfg = GsDramConfig::gs_dram_4_2_2();
+        assert_eq!(
+            gathered_elements(&cfg, PatternId(1), ColumnId(0), true),
+            vec![0, 2, 4, 6],
+            "keys (even elements)"
+        );
+        assert_eq!(
+            gathered_elements(&cfg, PatternId(1), ColumnId(1), true),
+            vec![1, 3, 5, 7],
+            "values (odd elements)"
+        );
+        // Pattern 2: odd-even *pairs* of fields from 8-field objects
+        // (each object = 2 lines of 4 words): fields {0,1} of objects
+        // 0 and 1.
+        assert_eq!(
+            gathered_elements(&cfg, PatternId(2), ColumnId(0), true),
+            vec![0, 1, 8, 9]
+        );
+        // The 8-chip analogues: pattern 2 pairs at stride 4; pattern 6
+        // pairs at stride 8 (fields {0,1} of every other 8-field object).
+        let cfg = GsDramConfig::gs_dram_8_3_3();
+        assert_eq!(
+            gathered_elements(&cfg, PatternId(2), ColumnId(0), true),
+            vec![0, 1, 4, 5, 16, 17, 20, 21]
+        );
+        assert_eq!(
+            gathered_elements(&cfg, PatternId(6), ColumnId(0), true),
+            vec![0, 1, 16, 17, 32, 33, 48, 49]
+        );
+    }
+
+    #[test]
+    fn table_has_one_entry_per_pattern_column_pair() {
+        let cfg = GsDramConfig::gs_dram_4_2_2();
+        let t = pattern_table(&cfg, 4);
+        assert_eq!(t.len(), 16);
+        assert_eq!(t[0].elements, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,232 @@
+//! Pattern-ID-based column translation logic (CTL) — paper §3.3, Figure 5.
+//!
+//! Each DRAM chip (or, equivalently, the module-side buffer in front of
+//! it) carries a tiny piece of logic: a `p`-bit chip-ID register, a
+//! bitwise AND, a bitwise XOR, and a multiplexer that engages the
+//! translation only for column commands (READ/WRITE). On a column command
+//! carrying pattern ID `P` and column address `C`, chip `i` accesses
+//! column `(i AND P) XOR C` instead of `C`.
+//!
+//! With the §6.2 *wide pattern ID* extension, the chip-ID register holds
+//! the physical chip ID bit-replicated up to the pattern width, letting a
+//! `p > log2(c)`-bit pattern express larger strides.
+
+use crate::{ChipId, ColumnId, GsDramConfig, PatternId};
+
+/// The kind of DRAM command presented to the CTL multiplexer. Only column
+/// commands (READ/WRITE) engage translation (Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommandKind {
+    /// A column read — translation applies.
+    Read,
+    /// A column write — translation applies.
+    Write,
+    /// Row activation — address passes through untranslated.
+    Activate,
+    /// Bank precharge — address passes through untranslated.
+    Precharge,
+    /// Refresh — address passes through untranslated.
+    Refresh,
+}
+
+impl CommandKind {
+    /// Whether this is a column command (READ or WRITE).
+    pub fn is_column_command(self) -> bool {
+        matches!(self, CommandKind::Read | CommandKind::Write)
+    }
+}
+
+/// Column translation logic instance for one chip.
+///
+/// ```
+/// use gsdram_core::{ctl::{ColumnTranslationLogic, CommandKind}, ChipId, ColumnId, PatternId};
+/// let ctl = ColumnTranslationLogic::new(ChipId(3), 3);
+/// // §3.4: READ col 0, pattern 3 → chip i reads column i.
+/// assert_eq!(
+///     ctl.translate(CommandKind::Read, PatternId(3), ColumnId(0)),
+///     ColumnId(3)
+/// );
+/// // Pattern 0 is the default read: every chip uses the issued column.
+/// assert_eq!(
+///     ctl.translate(CommandKind::Read, PatternId(0), ColumnId(2)),
+///     ColumnId(2)
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnTranslationLogic {
+    chip: ChipId,
+    /// The chip-ID register contents: the physical chip ID, bit-replicated
+    /// to the pattern width (§6.2).
+    wide_chip_id: u8,
+}
+
+impl ColumnTranslationLogic {
+    /// Builds the CTL for `chip` with the chip-ID register holding the
+    /// plain physical chip ID (the base mechanism of §3.3).
+    pub fn new(chip: ChipId, _pattern_bits: u8) -> Self {
+        ColumnTranslationLogic {
+            chip,
+            wide_chip_id: chip.0,
+        }
+    }
+
+    /// Builds the CTL with the §6.2 *wide pattern ID* extension: the
+    /// `chip_bits`-wide physical chip ID is bit-replicated to fill
+    /// `pattern_bits` bits (chip 3 of an 8-chip rank with 6-bit patterns
+    /// holds `011-011`).
+    pub fn with_wide_id(chip: ChipId, chip_bits: u8, pattern_bits: u8) -> Self {
+        ColumnTranslationLogic {
+            chip,
+            wide_chip_id: replicate_wide(chip.0, chip_bits, pattern_bits),
+        }
+    }
+
+    /// Builds the CTL for `chip` using only the physical chip-ID bits
+    /// (the base mechanism of §3.3, no §6.2 widening). With this variant
+    /// a pattern wider than `log2(chips)` bits is silently truncated by
+    /// the AND — exactly the limitation §6.2 describes.
+    pub fn without_wide_id(chip: ChipId, chip_bits: u8) -> Self {
+        ColumnTranslationLogic {
+            chip,
+            wide_chip_id: chip.0 & (((1u16 << chip_bits) - 1) as u8),
+        }
+    }
+
+    /// The chip this CTL serves.
+    pub fn chip(&self) -> ChipId {
+        self.chip
+    }
+
+    /// The contents of the chip-ID register.
+    pub fn chip_id_register(&self) -> u8 {
+        self.wide_chip_id
+    }
+
+    /// The translated column address: `(chip_id & pattern) ^ column` for
+    /// column commands, the unmodified column otherwise (the Figure 5
+    /// multiplexer).
+    pub fn translate(&self, cmd: CommandKind, pattern: PatternId, col: ColumnId) -> ColumnId {
+        if !cmd.is_column_command() {
+            return col;
+        }
+        ColumnId(((self.wide_chip_id & pattern.0) as u32) ^ col.0)
+    }
+}
+
+/// Builds one CTL per chip of a module (the CTL-0..CTL-3 boxes of
+/// Figure 6). When the configured pattern width exceeds the chip-ID
+/// width, the §6.2 wide-pattern-ID replication is applied.
+pub fn ctl_bank(cfg: &GsDramConfig) -> Vec<ColumnTranslationLogic> {
+    (0..cfg.chips() as u8)
+        .map(|i| {
+            let chip = ChipId(i);
+            if cfg.pattern_bits() > cfg.chip_bits() {
+                ColumnTranslationLogic::with_wide_id(chip, cfg.chip_bits(), cfg.pattern_bits())
+            } else {
+                ColumnTranslationLogic::without_wide_id(chip, cfg.chip_bits())
+            }
+        })
+        .collect()
+}
+
+/// Replicates a `chip_bits`-wide chip ID to `pattern_bits` bits (§6.2).
+pub fn replicate_wide(chip: u8, chip_bits: u8, pattern_bits: u8) -> u8 {
+    let mut out: u16 = 0;
+    let mut shift = 0;
+    while shift < pattern_bits {
+        out |= (chip as u16) << shift;
+        shift += chip_bits;
+    }
+    (out & ((1u16 << pattern_bits) - 1)) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure6_default_pattern_reads_one_tuple() {
+        // §3.4: READ col 2, pattern 0 → all chips return column 2.
+        for i in 0..4u8 {
+            let ctl = ColumnTranslationLogic::new(ChipId(i), 2);
+            assert_eq!(
+                ctl.translate(CommandKind::Read, PatternId(0), ColumnId(2)),
+                ColumnId(2)
+            );
+        }
+    }
+
+    #[test]
+    fn figure6_pattern3_reads_one_column_per_chip() {
+        // §3.4: READ col 0, pattern 3 → chips return columns (0 1 2 3).
+        let cols: Vec<u32> = (0..4u8)
+            .map(|i| {
+                ColumnTranslationLogic::new(ChipId(i), 2)
+                    .translate(CommandKind::Write, PatternId(3), ColumnId(0))
+                    .0
+            })
+            .collect();
+        assert_eq!(cols, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn non_column_commands_pass_through() {
+        let ctl = ColumnTranslationLogic::new(ChipId(5), 3);
+        for cmd in [CommandKind::Activate, CommandKind::Precharge, CommandKind::Refresh] {
+            assert_eq!(
+                ctl.translate(cmd, PatternId(7), ColumnId(9)),
+                ColumnId(9),
+                "{cmd:?} must not translate"
+            );
+        }
+        assert!(CommandKind::Read.is_column_command());
+        assert!(CommandKind::Write.is_column_command());
+        assert!(!CommandKind::Activate.is_column_command());
+    }
+
+    #[test]
+    fn wide_chip_id_replication_matches_section_6_2() {
+        // "with 8 chips and a 6-bit pattern ID, the chip ID used by CTL
+        // for chip 3 will be 011-011".
+        assert_eq!(replicate_wide(3, 3, 6), 0b011_011);
+        assert_eq!(replicate_wide(5, 3, 6), 0b101_101);
+        // Truncation when the width is not a multiple of chip bits.
+        assert_eq!(replicate_wide(3, 3, 4), 0b1011);
+    }
+
+    #[test]
+    fn narrow_ctl_truncates_wide_patterns() {
+        // §6.2: without widening, a small chip ID disables the high
+        // pattern bits.
+        let ctl = ColumnTranslationLogic::without_wide_id(ChipId(3), 3);
+        let translated = ctl.translate(CommandKind::Read, PatternId(0b111_000), ColumnId(0));
+        assert_eq!(translated, ColumnId(0), "high pattern bits ANDed away");
+    }
+
+    #[test]
+    fn ctl_bank_builds_one_per_chip() {
+        let cfg = GsDramConfig::gs_dram_8_3_3();
+        let bank = ctl_bank(&cfg);
+        assert_eq!(bank.len(), 8);
+        for (i, ctl) in bank.iter().enumerate() {
+            assert_eq!(ctl.chip(), ChipId(i as u8));
+            assert_eq!(ctl.chip_id_register(), i as u8);
+        }
+        // Wide-pattern configuration replicates IDs.
+        let cfg = GsDramConfig::new(8, 3, 6).unwrap();
+        let bank = ctl_bank(&cfg);
+        assert_eq!(bank[3].chip_id_register(), 0b011_011);
+    }
+
+    #[test]
+    fn translation_is_an_involution_in_column() {
+        // Applying the same (chip, pattern) modifier twice restores the
+        // column: the XOR structure the write path relies on.
+        let ctl = ColumnTranslationLogic::new(ChipId(6), 3);
+        for col in 0..16u32 {
+            let once = ctl.translate(CommandKind::Read, PatternId(5), ColumnId(col));
+            let twice = ctl.translate(CommandKind::Read, PatternId(5), once);
+            assert_eq!(twice, ColumnId(col));
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Error types for GS-DRAM configuration and access validation.
+
+use core::fmt;
+
+/// Error constructing or validating a [`GsDramConfig`](crate::GsDramConfig)
+/// or [`Geometry`](crate::Geometry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The chip count must be a power of two (the shuffle network and the
+    /// ascending reassembly both rely on it).
+    ChipsNotPowerOfTwo(usize),
+    /// The chip count must be at least 2 for gathering to be meaningful.
+    TooFewChips(usize),
+    /// More shuffle stages than `log2(chips)` would swap words that do not
+    /// exist.
+    TooManyShuffleStages {
+        /// Requested number of stages.
+        stages: u8,
+        /// Number of chips in the module.
+        chips: usize,
+    },
+    /// Pattern IDs wider than 8 bits are not representable.
+    PatternBitsTooWide(u8),
+    /// Columns per row must be a power of two not smaller than
+    /// `2^pattern_bits`, so column translation (an XOR of the low
+    /// `pattern_bits` bits) never leaves the row.
+    BadColumnsPerRow {
+        /// Requested columns per row.
+        cols: usize,
+        /// Minimum legal value given the pattern width.
+        min: usize,
+    },
+    /// A row count of zero makes the module empty.
+    ZeroRows,
+    /// Number of intra-chip tiles (MATs) must be a power of two dividing
+    /// the 8-byte chip word (paper §6.3).
+    BadTileCount(usize),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ChipsNotPowerOfTwo(c) => {
+                write!(f, "chip count {c} is not a power of two")
+            }
+            ConfigError::TooFewChips(c) => write!(f, "chip count {c} is less than 2"),
+            ConfigError::TooManyShuffleStages { stages, chips } => write!(
+                f,
+                "{stages} shuffle stages exceed log2 of the {chips}-chip module"
+            ),
+            ConfigError::PatternBitsTooWide(p) => {
+                write!(f, "pattern id width {p} exceeds 8 bits")
+            }
+            ConfigError::BadColumnsPerRow { cols, min } => write!(
+                f,
+                "columns per row {cols} must be a power of two and at least {min}"
+            ),
+            ConfigError::ZeroRows => write!(f, "row count must be nonzero"),
+            ConfigError::BadTileCount(t) => {
+                write!(f, "tile count {t} must be a power of two dividing 8")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Error performing a gather/scatter access on a
+/// [`GsModule`](crate::GsModule).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessError {
+    /// Row address beyond the module's row count.
+    RowOutOfRange {
+        /// Requested row.
+        row: u32,
+        /// Number of rows in the module.
+        rows: usize,
+    },
+    /// Column address beyond the row's column count.
+    ColumnOutOfRange {
+        /// Requested column.
+        col: u32,
+        /// Columns per row.
+        cols: usize,
+    },
+    /// Pattern ID does not fit the configured pattern width.
+    PatternTooWide {
+        /// Requested pattern.
+        pattern: u8,
+        /// Configured pattern width in bits.
+        bits: u8,
+    },
+    /// A scatter supplied the wrong number of words (must equal chips).
+    WrongLineLength {
+        /// Words supplied.
+        got: usize,
+        /// Words expected (one per chip).
+        expected: usize,
+    },
+}
+
+impl fmt::Display for AccessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} out of range (module has {rows} rows)")
+            }
+            AccessError::ColumnOutOfRange { col, cols } => {
+                write!(f, "column {col} out of range (row has {cols} columns)")
+            }
+            AccessError::PatternTooWide { pattern, bits } => {
+                write!(f, "pattern {pattern} does not fit in {bits} bits")
+            }
+            AccessError::WrongLineLength { got, expected } => {
+                write!(f, "line has {got} words, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AccessError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_meaningful_text() {
+        let e = ConfigError::TooManyShuffleStages { stages: 4, chips: 8 };
+        assert!(e.to_string().contains("4 shuffle stages"));
+        let e = AccessError::PatternTooWide { pattern: 9, bits: 3 };
+        assert!(e.to_string().contains("pattern 9"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
+        assert_send_sync::<AccessError>();
+    }
+}

@@ -1,0 +1,153 @@
+//! Strongly-typed identifiers for the GS-DRAM substrate.
+//!
+//! The paper manipulates four kinds of small integers — chip IDs, pattern
+//! IDs, column addresses and row addresses — whose confusion would produce
+//! silently wrong gathers. Each gets a newtype ([C-NEWTYPE]).
+
+use core::fmt;
+
+/// Identifier of a DRAM chip within a rank (0..chips).
+///
+/// Each chip contributes one 8-byte word to every cache-line access
+/// (paper §2). The chip ID feeds the column translation logic (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ChipId(pub u8);
+
+/// An access-pattern identifier broadcast with each column command (§3.3).
+///
+/// Pattern `0` is the *default pattern* (an ordinary contiguous cache-line
+/// access). Pattern `2^k − 1` gathers elements with stride `2^k`
+/// (paper §3.5, Figure 7).
+///
+/// ```
+/// use gsdram_core::PatternId;
+/// assert_eq!(PatternId::for_stride(8), Some(PatternId(7)));
+/// assert_eq!(PatternId(7).stride(), Some(8));
+/// assert_eq!(PatternId::DEFAULT.stride(), Some(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PatternId(pub u8);
+
+impl PatternId {
+    /// The default pattern: an ordinary contiguous cache-line access.
+    pub const DEFAULT: PatternId = PatternId(0);
+
+    /// Returns the pattern that gathers a power-of-two stride, i.e.
+    /// `stride − 1` (paper §3.5: "pattern 2^k − 1 gathers data with a
+    /// stride 2^k"). Returns `None` if `stride` is not a power of two.
+    pub fn for_stride(stride: usize) -> Option<PatternId> {
+        if stride.is_power_of_two() && stride <= 256 {
+            Some(PatternId((stride - 1) as u8))
+        } else {
+            None
+        }
+    }
+
+    /// The uniform stride this pattern gathers, if it is of the
+    /// `2^k − 1` family; `None` for mixed-stride patterns such as
+    /// pattern 2 of GS-DRAM(4,2,2), whose stride is (1,7) (Figure 7).
+    pub fn stride(self) -> Option<usize> {
+        let s = self.0 as usize + 1;
+        s.is_power_of_two().then_some(s)
+    }
+
+    /// Whether this is the default (contiguous) pattern.
+    pub fn is_default(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for PatternId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pattern {}", self.0)
+    }
+}
+
+impl fmt::Display for ChipId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chip {}", self.0)
+    }
+}
+
+/// A column address within an open DRAM row: selects one cache line
+/// (paper §2). One column holds `chips` 8-byte words, one per chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ColumnId(pub u32);
+
+impl fmt::Display for ColumnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "col {}", self.0)
+    }
+}
+
+/// A row address within a DRAM bank (paper §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RowId(pub u32);
+
+impl fmt::Display for RowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "row {}", self.0)
+    }
+}
+
+impl From<u8> for ChipId {
+    fn from(v: u8) -> Self {
+        ChipId(v)
+    }
+}
+
+impl From<u8> for PatternId {
+    fn from(v: u8) -> Self {
+        PatternId(v)
+    }
+}
+
+impl From<u32> for ColumnId {
+    fn from(v: u32) -> Self {
+        ColumnId(v)
+    }
+}
+
+impl From<u32> for RowId {
+    fn from(v: u32) -> Self {
+        RowId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_for_stride_covers_powers_of_two() {
+        assert_eq!(PatternId::for_stride(1), Some(PatternId(0)));
+        assert_eq!(PatternId::for_stride(2), Some(PatternId(1)));
+        assert_eq!(PatternId::for_stride(4), Some(PatternId(3)));
+        assert_eq!(PatternId::for_stride(8), Some(PatternId(7)));
+        assert_eq!(PatternId::for_stride(3), None);
+        assert_eq!(PatternId::for_stride(0), None);
+        assert_eq!(PatternId::for_stride(12), None);
+    }
+
+    #[test]
+    fn mixed_stride_patterns_have_no_uniform_stride() {
+        // Pattern 2 of GS-DRAM(4,2,2) has the dual stride (1,7) — Figure 7.
+        assert_eq!(PatternId(2).stride(), None);
+        assert_eq!(PatternId(5).stride(), None);
+    }
+
+    #[test]
+    fn default_pattern_is_zero() {
+        assert!(PatternId::DEFAULT.is_default());
+        assert!(!PatternId(3).is_default());
+        assert_eq!(PatternId::default(), PatternId::DEFAULT);
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        assert_eq!(PatternId(3).to_string(), "pattern 3");
+        assert_eq!(ChipId(2).to_string(), "chip 2");
+        assert_eq!(ColumnId(9).to_string(), "col 9");
+        assert_eq!(RowId(1).to_string(), "row 1");
+    }
+}

@@ -1,0 +1,191 @@
+//! Intra-chip column translation (paper §6.3).
+//!
+//! A DRAM bank is physically a 2-D grid of small tiles (MATs); each tile
+//! contributes an equal share of the 64 bits a chip supplies per column
+//! access. Running the CTL *inside* the chip, per tile, allows two
+//! extensions:
+//!
+//! 1. gathering at a granularity smaller than 8 bytes (each tile picks a
+//!    different column, so one chip word can mix sub-words of several
+//!    columns), and
+//! 2. ECC DIMMs: the ECC chip's eight tiles gather the ECC bytes of the
+//!    eight data lines touched by a non-zero pattern, so every pattern
+//!    remains ECC-protected.
+
+use crate::ctl::{ColumnTranslationLogic, CommandKind};
+use crate::error::ConfigError;
+use crate::{ChipId, ColumnId, PatternId};
+
+/// A chip model with per-tile (MAT) column translation (§6.3).
+///
+/// The chip's 8-byte word is split across `tiles` tiles; tile `t` carries
+/// `8 / tiles` bytes and owns its own CTL whose ID is the tile index, so
+/// a single READ can select a different column per tile.
+#[derive(Debug, Clone)]
+pub struct IntraChipCtl {
+    tiles: usize,
+    ctls: Vec<ColumnTranslationLogic>,
+}
+
+impl IntraChipCtl {
+    /// Builds the per-tile translation logic for a chip.
+    ///
+    /// # Errors
+    ///
+    /// `tiles` must be a power of two in `{1, 2, 4, 8}` so each tile
+    /// carries a whole number of bytes of the 8-byte chip word.
+    pub fn new(tiles: usize, pattern_bits: u8) -> Result<Self, ConfigError> {
+        if !tiles.is_power_of_two() || tiles > 8 || tiles == 0 {
+            return Err(ConfigError::BadTileCount(tiles));
+        }
+        let ctls = (0..tiles as u8)
+            .map(|t| ColumnTranslationLogic::new(ChipId(t), pattern_bits))
+            .collect();
+        Ok(IntraChipCtl { tiles, ctls })
+    }
+
+    /// Number of tiles.
+    pub fn tiles(&self) -> usize {
+        self.tiles
+    }
+
+    /// Bytes each tile contributes to the chip's 8-byte word.
+    pub fn bytes_per_tile(&self) -> usize {
+        8 / self.tiles
+    }
+
+    /// The column each tile accesses for a `(pattern, col)` column
+    /// command.
+    pub fn tile_columns(&self, pattern: PatternId, col: ColumnId) -> Vec<ColumnId> {
+        self.ctls
+            .iter()
+            .map(|c| c.translate(CommandKind::Read, pattern, col))
+            .collect()
+    }
+
+    /// Assembles the chip's output word for a gather: byte-slice `t` of
+    /// the word comes from tile `t`'s column. `row` maps a column to the
+    /// 8-byte word stored there (the tile then supplies its byte share of
+    /// that word).
+    pub fn gather_word(
+        &self,
+        pattern: PatternId,
+        col: ColumnId,
+        row: impl Fn(ColumnId) -> u64,
+    ) -> u64 {
+        let bpt = self.bytes_per_tile();
+        let mut out = 0u64;
+        for (t, tile_col) in self.tile_columns(pattern, col).iter().enumerate() {
+            let word = row(*tile_col);
+            let shift = (t * bpt * 8) as u32;
+            let mask = if bpt == 8 { u64::MAX } else { ((1u64 << (bpt * 8)) - 1) << shift };
+            out |= word & mask;
+        }
+        out
+    }
+}
+
+/// ECC support for GS-DRAM (§6.3): with an ECC chip whose tiles support
+/// intra-chip translation, a non-zero-pattern access gathers the ECC
+/// bytes of all `chips` data lines it touches in one access.
+///
+/// This helper computes which ECC columns the ECC chip's tiles must read
+/// for a gather, and verifies they cover the data lines' ECC exactly.
+#[derive(Debug, Clone)]
+pub struct EccGather {
+    intra: IntraChipCtl,
+}
+
+impl EccGather {
+    /// ECC layout for a module with `chips` data chips (one ECC byte per
+    /// data line per chip-column, stored column-aligned in the ECC chip).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IntraChipCtl::new`] validation (`chips` must be a
+    /// power of two ≤ 8).
+    pub fn new(chips: usize, pattern_bits: u8) -> Result<Self, ConfigError> {
+        Ok(EccGather {
+            intra: IntraChipCtl::new(chips, pattern_bits)?,
+        })
+    }
+
+    /// The ECC-chip columns gathered for a `(pattern, col)` access: tile
+    /// `t` fetches the ECC byte of the data line chip `t` reads.
+    pub fn ecc_columns(&self, pattern: PatternId, col: ColumnId) -> Vec<ColumnId> {
+        self.intra.tile_columns(pattern, col)
+    }
+
+    /// Whether a single ECC-chip access covers all data columns touched
+    /// by the gather (true by construction; exposed for tests and the
+    /// ablation harness).
+    pub fn covers(&self, pattern: PatternId, col: ColumnId, data_cols: &[ColumnId]) -> bool {
+        let mut mine = self.ecc_columns(pattern, col);
+        let mut want = data_cols.to_vec();
+        mine.sort_by_key(|c| c.0);
+        want.sort_by_key(|c| c.0);
+        mine == want
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctl::ctl_bank;
+    use crate::GsDramConfig;
+
+    #[test]
+    fn tile_validation() {
+        assert!(IntraChipCtl::new(0, 3).is_err());
+        assert!(IntraChipCtl::new(3, 3).is_err());
+        assert!(IntraChipCtl::new(16, 3).is_err());
+        for t in [1, 2, 4, 8] {
+            assert!(IntraChipCtl::new(t, 3).is_ok(), "{t}");
+        }
+    }
+
+    #[test]
+    fn sub_word_gather_granularity() {
+        let intra = IntraChipCtl::new(8, 3).unwrap();
+        assert_eq!(intra.bytes_per_tile(), 1);
+        // Pattern 7: tile t reads column t (from col 0) — eight different
+        // columns feed one chip word, i.e. 1-byte gather granularity.
+        let cols = intra.tile_columns(PatternId(7), ColumnId(0));
+        let want: Vec<ColumnId> = (0..8).map(ColumnId).collect();
+        assert_eq!(cols, want);
+    }
+
+    #[test]
+    fn gather_word_assembles_byte_slices() {
+        let intra = IntraChipCtl::new(8, 3).unwrap();
+        // Column c stores the word with every byte = c.
+        let row = |c: ColumnId| {
+            let b = c.0 as u64 & 0xff;
+            b * 0x0101_0101_0101_0101
+        };
+        let w = intra.gather_word(PatternId(7), ColumnId(0), row);
+        assert_eq!(w, 0x0706_0504_0302_0100);
+        // Pattern 0 keeps the plain word.
+        let w = intra.gather_word(PatternId(0), ColumnId(3), row);
+        assert_eq!(w, row(ColumnId(3)));
+    }
+
+    #[test]
+    fn ecc_gather_covers_all_data_columns() {
+        let cfg = GsDramConfig::gs_dram_8_3_3();
+        let ecc = EccGather::new(8, 3).unwrap();
+        let ctls = ctl_bank(&cfg);
+        for p in 0..8u8 {
+            for c in 0..16u32 {
+                let data_cols: Vec<ColumnId> = ctls
+                    .iter()
+                    .map(|ctl| ctl.translate(CommandKind::Read, PatternId(p), ColumnId(c)))
+                    .collect();
+                assert!(
+                    ecc.covers(PatternId(p), ColumnId(c), &data_cols),
+                    "pattern {p} col {c}"
+                );
+            }
+        }
+    }
+}

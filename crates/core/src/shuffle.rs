@@ -1,0 +1,233 @@
+//! Column-ID-based data shuffling (paper §3.2) and the programmable
+//! shuffling functions of §6.1.
+//!
+//! The memory controller passes each cache line through an `s`-stage
+//! butterfly-style swap network before it reaches the chips. Stage `k`
+//! (0-indexed) swaps groups of `2^k` adjacent 8-byte words with their
+//! neighbouring group whenever control bit `k` is set. The control bits
+//! are derived from the line's column address by a *shuffling function*
+//! `f`; the default takes the `s` least-significant column bits.
+//!
+//! Because stage `k` is exactly "XOR bit `k` of the word index", the whole
+//! network maps the word at index `i` to chip `i XOR f(column)`. The
+//! network is therefore its own inverse — the controller uses the same
+//! hardware to unshuffle lines read back from the module (§3.6 charges
+//! 3 cycles for it in GS-DRAM(8,3,3)).
+
+use crate::{ColumnId, GsDramConfig};
+
+/// A programmable shuffling function `f` mapping a column address to the
+/// control input of the shuffle network's stages (paper §6.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShuffleFn {
+    /// No shuffling: every stage disabled. Data structures that never use
+    /// non-zero patterns keep the trivial mapping (the `pattmalloc`
+    /// shuffle flag cleared — §4.3).
+    Identity,
+    /// The default of §3.2: control bits are the `s` least-significant
+    /// bits of the column address.
+    LowBits,
+    /// `LowBits` with a *shuffle mask* ANDed in, disabling selected
+    /// stages (§6.1: "the shuffle mask 10 disables swapping of adjacent
+    /// values").
+    Masked {
+        /// Bit `k` enables stage `k`.
+        mask: u8,
+    },
+    /// XOR-fold of the column address: the control input is the XOR of
+    /// consecutive `s`-bit groups of the column bits (§6.1 suggests
+    /// "XOR of multiple sets of bits" after Frailong et al.'s
+    /// XOR-schemes).
+    XorFold {
+        /// How many `s`-bit groups of the column address to fold.
+        groups: u8,
+    },
+}
+
+impl ShuffleFn {
+    /// Computes the control input to the `stages` shuffle stages for a
+    /// line at column `col`.
+    ///
+    /// ```
+    /// use gsdram_core::{shuffle::ShuffleFn, ColumnId};
+    /// assert_eq!(ShuffleFn::LowBits.control(ColumnId(6), 3), 6);
+    /// assert_eq!(ShuffleFn::Identity.control(ColumnId(6), 3), 0);
+    /// assert_eq!(ShuffleFn::Masked { mask: 0b10 }.control(ColumnId(3), 2), 0b10);
+    /// ```
+    pub fn control(&self, col: ColumnId, stages: u8) -> u8 {
+        let low_mask = ((1u16 << stages) - 1) as u8;
+        match self {
+            ShuffleFn::Identity => 0,
+            ShuffleFn::LowBits => (col.0 as u8) & low_mask,
+            ShuffleFn::Masked { mask } => (col.0 as u8) & low_mask & mask,
+            ShuffleFn::XorFold { groups } => {
+                let mut acc = 0u8;
+                for g in 0..*groups {
+                    acc ^= (col.0 >> (g as u32 * stages as u32)) as u8 & low_mask;
+                }
+                acc
+            }
+        }
+    }
+}
+
+/// Runs the `s`-stage shuffle network over a cache line in place.
+///
+/// `control` bit `k` enables stage `k`, which swaps adjacent groups of
+/// `2^k` words (Figure 4). The network is an involution: applying it a
+/// second time with the same control restores the original line.
+///
+/// This walks the stages literally, mirroring the hardware datapath; the
+/// equivalent closed form is `out[i ^ control] = in[i]`.
+///
+/// # Panics
+///
+/// Panics if `line.len()` is not a power of two or `stages` exceeds
+/// `log2(line.len())` — both are enforced earlier by
+/// [`crate::GsDramConfig`] validation.
+pub fn shuffle_line(line: &mut [u64], stages: u8, control: u8) {
+    assert!(line.len().is_power_of_two(), "line length must be a power of two");
+    assert!(
+        (stages as u32) <= line.len().trailing_zeros(),
+        "more stages than log2(line length)"
+    );
+    for k in 0..stages {
+        if control & (1 << k) != 0 {
+            let half = 1usize << k;
+            let mut i = 0;
+            while i < line.len() {
+                for j in 0..half {
+                    line.swap(i + j, i + j + half);
+                }
+                i += 2 * half;
+            }
+        }
+    }
+}
+
+/// The chip a word at in-line index `word` is routed to after shuffling
+/// with the given `control`: `word XOR control`.
+///
+/// ```
+/// use gsdram_core::shuffle::chip_of_word;
+/// // Column 1 of Figure 6: adjacent values swapped.
+/// assert_eq!(chip_of_word(0, 1), 1);
+/// assert_eq!(chip_of_word(1, 1), 0);
+/// ```
+pub fn chip_of_word(word: usize, control: u8) -> usize {
+    word ^ control as usize
+}
+
+/// Convenience: shuffles a line for a write to `col` under `cfg`,
+/// honouring the per-data-structure shuffle flag (§4.3).
+pub fn shuffle_for_column(cfg: &GsDramConfig, col: ColumnId, shuffled: bool, line: &mut [u64]) {
+    if !shuffled {
+        return;
+    }
+    let control = cfg.shuffle_fn().control(col, cfg.shuffle_stages());
+    shuffle_line(line, cfg.shuffle_stages(), control);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4_example_two_stage() {
+        // Figure 4: input (v0 v1 v2 v3), column LSBs "0 1" shown with
+        // stage 1 active: adjacent values swapped.
+        let mut line = vec![0u64, 1, 2, 3];
+        shuffle_line(&mut line, 2, 0b01);
+        assert_eq!(line, vec![1, 0, 3, 2]);
+
+        // Stage 2 alone: adjacent pairs swapped.
+        let mut line = vec![0u64, 1, 2, 3];
+        shuffle_line(&mut line, 2, 0b10);
+        assert_eq!(line, vec![2, 3, 0, 1]);
+
+        // Both stages (column id 3).
+        let mut line = vec![0u64, 1, 2, 3];
+        shuffle_line(&mut line, 2, 0b11);
+        assert_eq!(line, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn figure6_mapping_of_first_four_tuples() {
+        // Figure 6: tuple `t` (column id t) maps its field f to chip
+        // f XOR (t mod 4). Check the shaded first-field placement:
+        // 00 on chip 0, 10 on chip 1, 20 on chip 2, 30 on chip 3.
+        for t in 0u8..4 {
+            let mut line: Vec<u64> = (0..4).map(|f| (t as u64) * 10 + f).collect();
+            shuffle_line(&mut line, 2, t & 0b11);
+            let field0_chip = line.iter().position(|&v| v == (t as u64) * 10).unwrap();
+            assert_eq!(field0_chip, t as usize);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_involution() {
+        for control in 0u8..8 {
+            let original: Vec<u64> = (0..8).collect();
+            let mut line = original.clone();
+            shuffle_line(&mut line, 3, control);
+            shuffle_line(&mut line, 3, control);
+            assert_eq!(line, original, "control {control}");
+        }
+    }
+
+    #[test]
+    fn shuffle_equals_index_xor() {
+        for control in 0u8..8 {
+            let mut line: Vec<u64> = (0..8).collect();
+            shuffle_line(&mut line, 3, control);
+            for (pos, &v) in line.iter().enumerate() {
+                assert_eq!(pos, chip_of_word(v as usize, control));
+            }
+        }
+    }
+
+    #[test]
+    fn control_functions() {
+        assert_eq!(ShuffleFn::LowBits.control(ColumnId(0b10110), 3), 0b110);
+        assert_eq!(ShuffleFn::Identity.control(ColumnId(0b10110), 3), 0);
+        assert_eq!(
+            ShuffleFn::Masked { mask: 0b101 }.control(ColumnId(0b111), 3),
+            0b101
+        );
+        // XorFold over two 3-bit groups of column 0b101_110.
+        assert_eq!(
+            ShuffleFn::XorFold { groups: 2 }.control(ColumnId(0b101_110), 3),
+            0b101 ^ 0b110
+        );
+        // One group degenerates to LowBits.
+        assert_eq!(
+            ShuffleFn::XorFold { groups: 1 }.control(ColumnId(0b10110), 3),
+            0b110
+        );
+    }
+
+    #[test]
+    fn shuffle_disabled_flag_is_honoured() {
+        let cfg = GsDramConfig::gs_dram_8_3_3();
+        let original: Vec<u64> = (100..108).collect();
+        let mut line = original.clone();
+        shuffle_for_column(&cfg, ColumnId(5), false, &mut line);
+        assert_eq!(line, original);
+        shuffle_for_column(&cfg, ColumnId(5), true, &mut line);
+        assert_ne!(line, original);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_line() {
+        let mut line = vec![0u64; 6];
+        shuffle_line(&mut line, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "more stages")]
+    fn rejects_excess_stages() {
+        let mut line = vec![0u64; 4];
+        shuffle_line(&mut line, 3, 1);
+    }
+}

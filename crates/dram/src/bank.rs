@@ -1,0 +1,381 @@
+//! Bank and rank state machines enforcing DDR3 timing constraints.
+//!
+//! The model follows the abstraction of paper §2: each bank is a grid of
+//! rows plus a row buffer caching the last activated row. Commands are
+//! legal only after their JEDEC-mandated delays; [`Rank::earliest`]
+//! computes the first legal issue cycle for a command and
+//! [`Rank::issue`] applies it.
+
+use crate::command::{BankId, DramCommand};
+use crate::timing::{Cycles, TimingParams};
+use gsdram_core::RowId;
+
+/// Never-issued sentinel: commands constrained by this are immediately
+/// legal.
+const NEVER: Cycles = 0;
+
+/// Per-bank timing state.
+#[derive(Debug, Clone)]
+pub struct Bank {
+    open_row: Option<RowId>,
+    /// Earliest cycle an ACTIVATE to this bank may issue.
+    earliest_act: Cycles,
+    /// Earliest cycle a PRECHARGE to this bank may issue.
+    earliest_pre: Cycles,
+    /// Earliest cycle a column command to this bank may issue
+    /// (tRCD after the activate).
+    earliest_col: Cycles,
+}
+
+impl Bank {
+    fn new() -> Self {
+        Bank {
+            open_row: None,
+            earliest_act: NEVER,
+            earliest_pre: NEVER,
+            earliest_col: NEVER,
+        }
+    }
+
+    /// The currently open row, if any.
+    pub fn open_row(&self) -> Option<RowId> {
+        self.open_row
+    }
+}
+
+/// Classification of an access against the bank's row-buffer state —
+/// determines its latency class (hit < closed < conflict).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowBufferState {
+    /// The needed row is open: column command may issue directly.
+    Hit,
+    /// The bank is precharged: needs ACTIVATE first.
+    Closed,
+    /// A different row is open: needs PRECHARGE, then ACTIVATE.
+    Conflict,
+}
+
+/// A rank of banks sharing command/address/data buses and rank-level
+/// constraints (tRRD, tFAW, bus turnaround, refresh).
+#[derive(Debug, Clone)]
+pub struct Rank {
+    timing: TimingParams,
+    banks: Vec<Bank>,
+    /// Issue times of the most recent ACTIVATEs (for tFAW).
+    recent_acts: Vec<Cycles>,
+    /// Earliest next ACTIVATE anywhere in the rank (tRRD).
+    earliest_act_rank: Cycles,
+    /// Earliest next READ issue (tCCD / write-to-read turnaround).
+    earliest_read: Cycles,
+    /// Earliest next WRITE issue (tCCD / read-to-write turnaround).
+    earliest_write: Cycles,
+    /// Command bus: one command per cycle.
+    earliest_cmd: Cycles,
+}
+
+impl Rank {
+    /// A rank with `banks` banks and the given timing.
+    pub fn new(timing: TimingParams, banks: usize) -> Self {
+        Rank {
+            timing,
+            banks: (0..banks).map(|_| Bank::new()).collect(),
+            recent_acts: Vec::new(),
+            earliest_act_rank: NEVER,
+            earliest_read: NEVER,
+            earliest_write: NEVER,
+            earliest_cmd: NEVER,
+        }
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Timing parameters in force.
+    pub fn timing(&self) -> &TimingParams {
+        &self.timing
+    }
+
+    /// Row-buffer state of `bank` with respect to `row`.
+    pub fn row_state(&self, bank: BankId, row: RowId) -> RowBufferState {
+        match self.banks[bank].open_row {
+            Some(r) if r == row => RowBufferState::Hit,
+            Some(_) => RowBufferState::Conflict,
+            None => RowBufferState::Closed,
+        }
+    }
+
+    /// The open row of `bank`.
+    pub fn open_row(&self, bank: BankId) -> Option<RowId> {
+        self.banks[bank].open_row
+    }
+
+    /// Earliest cycle at which `cmd` may legally issue, not before `now`.
+    pub fn earliest(&self, cmd: &DramCommand, now: Cycles) -> Cycles {
+        let t = match cmd {
+            DramCommand::Activate { bank, .. } => {
+                let mut t = self.banks[*bank].earliest_act.max(self.earliest_act_rank);
+                // tFAW: the 4th-most-recent ACT constrains the next one.
+                if self.recent_acts.len() >= 4 {
+                    let window_start = self.recent_acts[self.recent_acts.len() - 4];
+                    t = t.max(window_start + self.timing.faw);
+                }
+                t
+            }
+            DramCommand::Precharge { bank } => self.banks[*bank].earliest_pre,
+            DramCommand::Read { bank, .. } => {
+                self.banks[*bank].earliest_col.max(self.earliest_read)
+            }
+            DramCommand::Write { bank, .. } => {
+                self.banks[*bank].earliest_col.max(self.earliest_write)
+            }
+            DramCommand::Refresh => {
+                // All banks must be precharged and past tRP.
+                let mut t = NEVER;
+                for b in &self.banks {
+                    debug_assert!(b.open_row.is_none(), "refresh with open row");
+                    t = t.max(b.earliest_act);
+                }
+                t
+            }
+        };
+        t.max(now).max(self.earliest_cmd)
+    }
+
+    /// Issues `cmd` at cycle `at`, updating all affected state.
+    ///
+    /// For column commands, returns the cycle the data burst completes
+    /// (the request's service time); `None` otherwise.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if `at` precedes [`Rank::earliest`] or the
+    /// command is illegal in the current row-buffer state — the
+    /// controller must never emit such a command.
+    pub fn issue(&mut self, cmd: &DramCommand, at: Cycles) -> Option<Cycles> {
+        debug_assert!(
+            at >= self.earliest(cmd, at),
+            "command {cmd:?} issued at {at} before legal time {}",
+            self.earliest(cmd, at)
+        );
+        let t = &self.timing;
+        let done = match *cmd {
+            DramCommand::Activate { bank, row } => {
+                let b = &mut self.banks[bank];
+                debug_assert!(b.open_row.is_none(), "activate with row already open");
+                b.open_row = Some(row);
+                b.earliest_col = at + t.rcd;
+                b.earliest_pre = at + t.ras;
+                b.earliest_act = at + t.rc;
+                self.earliest_act_rank = self.earliest_act_rank.max(at + t.rrd);
+                self.recent_acts.push(at);
+                if self.recent_acts.len() > 8 {
+                    self.recent_acts.drain(..4);
+                }
+                None
+            }
+            DramCommand::Precharge { bank } => {
+                let b = &mut self.banks[bank];
+                debug_assert!(b.open_row.is_some(), "precharge with no open row");
+                b.open_row = None;
+                b.earliest_act = b.earliest_act.max(at + t.rp);
+                None
+            }
+            DramCommand::Read { bank, .. } => {
+                let data_end = at + t.cl + t.burst;
+                {
+                    let b = &mut self.banks[bank];
+                    debug_assert!(b.open_row.is_some(), "read with no open row");
+                    b.earliest_pre = b.earliest_pre.max(at + t.rtp);
+                }
+                // Next column commands: tCCD between reads; a write's data
+                // must clear the read burst plus turnaround.
+                self.earliest_read = self.earliest_read.max(at + t.ccd);
+                self.earliest_write = self
+                    .earliest_write
+                    .max((data_end + t.rtw).saturating_sub(t.cwl))
+                    .max(at + t.ccd);
+                Some(data_end)
+            }
+            DramCommand::Write { bank, .. } => {
+                let data_end = at + t.cwl + t.burst;
+                {
+                    let b = &mut self.banks[bank];
+                    debug_assert!(b.open_row.is_some(), "write with no open row");
+                    b.earliest_pre = b.earliest_pre.max(data_end + t.wr);
+                }
+                self.earliest_write = self.earliest_write.max(at + t.ccd);
+                self.earliest_read = self.earliest_read.max(data_end + t.wtr).max(at + t.ccd);
+                Some(data_end)
+            }
+            DramCommand::Refresh => {
+                for b in &mut self.banks {
+                    debug_assert!(b.open_row.is_none());
+                    b.earliest_act = b.earliest_act.max(at + t.rfc);
+                }
+                self.earliest_act_rank = self.earliest_act_rank.max(at + t.rfc);
+                None
+            }
+        };
+        // One command per command-bus cycle.
+        self.earliest_cmd = self.earliest_cmd.max(at + 1);
+        done
+    }
+
+    /// Whether any bank has an open row (for background-energy
+    /// apportioning).
+    pub fn any_bank_active(&self) -> bool {
+        self.banks.iter().any(|b| b.open_row.is_some())
+    }
+
+    /// Banks with an open row, for refresh preparation.
+    pub fn open_banks(&self) -> Vec<BankId> {
+        self.banks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.open_row.map(|_| i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsdram_core::{ColumnId, PatternId};
+
+    fn rank() -> Rank {
+        Rank::new(TimingParams::ddr3_1600(), 8)
+    }
+
+    fn act(bank: BankId, row: u32) -> DramCommand {
+        DramCommand::Activate { bank, row: RowId(row) }
+    }
+
+    fn read(bank: BankId, col: u32) -> DramCommand {
+        DramCommand::Read { bank, col: ColumnId(col), pattern: PatternId(0) }
+    }
+
+    fn write(bank: BankId, col: u32) -> DramCommand {
+        DramCommand::Write { bank, col: ColumnId(col), pattern: PatternId(0) }
+    }
+
+    #[test]
+    fn activate_then_read_honours_trcd() {
+        let mut r = rank();
+        r.issue(&act(0, 5), 0);
+        assert_eq!(r.row_state(0, RowId(5)), RowBufferState::Hit);
+        assert_eq!(r.row_state(0, RowId(6)), RowBufferState::Conflict);
+        assert_eq!(r.row_state(1, RowId(5)), RowBufferState::Closed);
+        let e = r.earliest(&read(0, 3), 0);
+        assert_eq!(e, TimingParams::ddr3_1600().rcd);
+        let done = r.issue(&read(0, 3), e).unwrap();
+        assert_eq!(done, e + 11 + 4); // CL + burst
+    }
+
+    #[test]
+    fn back_to_back_reads_spaced_by_tccd() {
+        let mut r = rank();
+        r.issue(&act(0, 1), 0);
+        let t0 = r.earliest(&read(0, 0), 0);
+        r.issue(&read(0, 0), t0);
+        let t1 = r.earliest(&read(0, 1), t0);
+        assert_eq!(t1, t0 + TimingParams::ddr3_1600().ccd);
+    }
+
+    #[test]
+    fn precharge_waits_for_tras() {
+        let mut r = rank();
+        r.issue(&act(0, 1), 10);
+        let e = r.earliest(&DramCommand::Precharge { bank: 0 }, 10);
+        assert_eq!(e, 10 + TimingParams::ddr3_1600().ras);
+    }
+
+    #[test]
+    fn write_recovery_delays_precharge() {
+        let mut r = rank();
+        let t = TimingParams::ddr3_1600();
+        r.issue(&act(0, 1), 0);
+        let tw = r.earliest(&write(0, 0), 0);
+        r.issue(&write(0, 0), tw);
+        let e = r.earliest(&DramCommand::Precharge { bank: 0 }, tw);
+        assert_eq!(e, tw + t.cwl + t.burst + t.wr);
+    }
+
+    #[test]
+    fn write_to_read_turnaround() {
+        let mut r = rank();
+        let t = TimingParams::ddr3_1600();
+        r.issue(&act(0, 1), 0);
+        let tw = r.earliest(&write(0, 0), 0);
+        r.issue(&write(0, 0), tw);
+        let e = r.earliest(&read(0, 1), tw);
+        assert_eq!(e, tw + t.cwl + t.burst + t.wtr);
+    }
+
+    #[test]
+    fn trrd_spaces_cross_bank_activates() {
+        let mut r = rank();
+        let t = TimingParams::ddr3_1600();
+        r.issue(&act(0, 1), 0);
+        let e = r.earliest(&act(1, 1), 0);
+        assert_eq!(e, t.rrd);
+    }
+
+    #[test]
+    fn tfaw_limits_activation_rate() {
+        let mut r = rank();
+        let t = TimingParams::ddr3_1600();
+        let mut at = 0;
+        for b in 0..4 {
+            at = r.earliest(&act(b, 1), at);
+            r.issue(&act(b, 1), at);
+        }
+        // The 5th ACT must wait for the 4-activate window to slide.
+        let e = r.earliest(&act(4, 1), at);
+        assert!(e >= t.faw, "5th activate at {e} inside tFAW {}", t.faw);
+    }
+
+    #[test]
+    fn same_bank_activate_honours_trc() {
+        let mut r = rank();
+        let t = TimingParams::ddr3_1600();
+        r.issue(&act(0, 1), 0);
+        let p = r.earliest(&DramCommand::Precharge { bank: 0 }, 0);
+        r.issue(&DramCommand::Precharge { bank: 0 }, p);
+        let e = r.earliest(&act(0, 2), p);
+        // Either tRC from the ACT or tRP from the PRE, whichever is later.
+        assert_eq!(e, (p + t.rp).max(t.rc));
+    }
+
+    #[test]
+    fn refresh_blocks_all_banks() {
+        let mut r = rank();
+        let t = TimingParams::ddr3_1600();
+        let e = r.earliest(&DramCommand::Refresh, 100);
+        assert_eq!(e, 100);
+        r.issue(&DramCommand::Refresh, 100);
+        for b in 0..8 {
+            assert!(r.earliest(&act(b, 0), 100) >= 100 + t.rfc);
+        }
+    }
+
+    #[test]
+    fn command_bus_one_command_per_cycle() {
+        let mut r = rank();
+        r.issue(&act(0, 1), 0);
+        assert!(r.earliest(&act(1, 1), 0) >= 1);
+    }
+
+    #[test]
+    fn open_banks_listing() {
+        let mut r = rank();
+        assert!(r.open_banks().is_empty());
+        assert!(!r.any_bank_active());
+        r.issue(&act(2, 1), 0);
+        let e = r.earliest(&act(5, 3), 0);
+        r.issue(&act(5, 3), e);
+        assert_eq!(r.open_banks(), vec![2, 5]);
+        assert!(r.any_bank_active());
+    }
+}

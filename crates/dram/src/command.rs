@@ -1,0 +1,100 @@
+//! DRAM commands as issued on the command bus.
+
+use gsdram_core::{ColumnId, PatternId, RowId};
+
+/// Index of a bank within the rank.
+pub type BankId = usize;
+
+/// A command the memory controller places on the command/address bus.
+///
+/// READ and WRITE carry the GS-DRAM pattern ID (paper §3.3); for the
+/// command-bus and timing model the pattern is inert — that is the
+/// point of the mechanism: a gather costs exactly one ordinary column
+/// command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DramCommand {
+    /// Open `row` in `bank`, copying it into the bank's row buffer.
+    Activate {
+        /// Target bank.
+        bank: BankId,
+        /// Row to open.
+        row: RowId,
+    },
+    /// Close the open row of `bank`.
+    Precharge {
+        /// Target bank.
+        bank: BankId,
+    },
+    /// Column read of one cache line (with a GS-DRAM pattern).
+    Read {
+        /// Target bank.
+        bank: BankId,
+        /// Column address broadcast to all chips.
+        col: ColumnId,
+        /// GS-DRAM pattern ID riding on spare address pins (§3.6).
+        pattern: PatternId,
+    },
+    /// Column write of one cache line (with a GS-DRAM pattern).
+    Write {
+        /// Target bank.
+        bank: BankId,
+        /// Column address broadcast to all chips.
+        col: ColumnId,
+        /// GS-DRAM pattern ID.
+        pattern: PatternId,
+    },
+    /// All-bank auto refresh.
+    Refresh,
+}
+
+impl DramCommand {
+    /// The bank this command addresses, if it is bank-scoped.
+    pub fn bank(&self) -> Option<BankId> {
+        match self {
+            DramCommand::Activate { bank, .. }
+            | DramCommand::Precharge { bank }
+            | DramCommand::Read { bank, .. }
+            | DramCommand::Write { bank, .. } => Some(*bank),
+            DramCommand::Refresh => None,
+        }
+    }
+
+    /// Whether this is a column (data-transferring) command.
+    pub fn is_column(&self) -> bool {
+        matches!(self, DramCommand::Read { .. } | DramCommand::Write { .. })
+    }
+}
+
+/// A timestamped command, for trace logging and timing verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedCommand {
+    /// Issue cycle (memory clock).
+    pub at: u64,
+    /// Rank the command addresses (0 for single-rank channels;
+    /// REFRESH is issued per rank).
+    pub rank: usize,
+    /// The command issued.
+    pub cmd: DramCommand,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_extraction() {
+        assert_eq!(
+            DramCommand::Activate { bank: 3, row: RowId(7) }.bank(),
+            Some(3)
+        );
+        assert_eq!(DramCommand::Refresh.bank(), None);
+    }
+
+    #[test]
+    fn column_classification() {
+        assert!(DramCommand::Read { bank: 0, col: ColumnId(0), pattern: PatternId(0) }.is_column());
+        assert!(DramCommand::Write { bank: 0, col: ColumnId(0), pattern: PatternId(3) }.is_column());
+        assert!(!DramCommand::Precharge { bank: 0 }.is_column());
+        assert!(!DramCommand::Refresh.is_column());
+    }
+}

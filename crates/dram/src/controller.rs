@@ -1,0 +1,1025 @@
+//! The memory controller: request queues, FR-FCFS scheduling, write
+//! draining and refresh.
+//!
+//! The paper's evaluated controller (Table 1) uses an open-row policy
+//! with FR-FCFS scheduling [39, 56]: among pending requests, column
+//! commands that hit the open row go first, then oldest-first. That
+//! policy is what produces the HTAP inter-thread starvation the paper
+//! analyses in §5.1 — a streaming thread's row hits starve a random
+//! thread's row conflicts on the same bank.
+//!
+//! The implementation is event-driven: instead of ticking every memory
+//! cycle, it computes the earliest legal issue time of the best
+//! candidate command and jumps there, which keeps multi-billion-cycle
+//! simulations fast while enforcing exact DDR3 timing via
+//! [`crate::bank::Rank`]-level state machines.
+
+use crate::bank::{Rank, RowBufferState};
+use crate::command::DramCommand;
+use crate::energy::{EnergyMeter, PowerParams};
+use crate::mapping::DramLocation;
+use crate::timing::{Cycles, TimingParams};
+use gsdram_core::PatternId;
+
+/// Unique request identifier assigned by the caller.
+pub type ReqId = u64;
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A read request (demand load, fetch or prefetch).
+    Read,
+    /// A write request (dirty writeback).
+    Write,
+}
+
+/// A memory request presented to the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Caller-chosen identifier, echoed in the completion.
+    pub id: ReqId,
+    /// DRAM coordinates of the line.
+    pub loc: DramLocation,
+    /// GS-DRAM pattern for the column command.
+    pub pattern: PatternId,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+/// A finished request: `id` completed its data burst at cycle `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The request's identifier.
+    pub id: ReqId,
+    /// Memory cycle the data burst finished.
+    pub at: Cycles,
+}
+
+/// Row-buffer management policy (Table 1 uses open-row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowPolicy {
+    /// Leave rows open after column commands (bet on row locality).
+    Open,
+    /// Close a row once no queued request hits it (bet against
+    /// locality: random traffic saves the conflict precharge).
+    Closed,
+}
+
+/// Scheduling policy (FR-FCFS is the paper's; FCFS is the ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// First-ready, first-come-first-served: row hits first.
+    FrFcfs,
+    /// Strict arrival order per bank.
+    Fcfs,
+}
+
+/// Controller configuration.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// DDR timing parameters.
+    pub timing: TimingParams,
+    /// Device power parameters.
+    pub power: PowerParams,
+    /// Number of banks per rank.
+    pub banks: usize,
+    /// Number of ranks on the channel (sharing command and data buses).
+    pub ranks: usize,
+    /// Scheduling policy.
+    pub policy: SchedPolicy,
+    /// Row-buffer management policy.
+    pub row_policy: RowPolicy,
+    /// Write queue occupancy that forces draining.
+    pub write_high_watermark: usize,
+    /// Draining stops once the write queue shrinks to this.
+    pub write_low_watermark: usize,
+    /// Whether periodic refresh is modelled.
+    pub refresh: bool,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            timing: TimingParams::ddr3_1600(),
+            power: PowerParams::ddr3_1600_x8(),
+            banks: 8,
+            ranks: 1,
+            policy: SchedPolicy::FrFcfs,
+            row_policy: RowPolicy::Open,
+            write_high_watermark: 32,
+            write_low_watermark: 8,
+            refresh: true,
+        }
+    }
+}
+
+/// Controller statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControllerStats {
+    /// Demand/prefetch reads serviced.
+    pub reads: u64,
+    /// Writebacks serviced.
+    pub writes: u64,
+    /// Column commands that hit the open row.
+    pub row_hits: u64,
+    /// Accesses to a precharged bank.
+    pub row_closed: u64,
+    /// Accesses that had to close another row first.
+    pub row_conflicts: u64,
+    /// ACTIVATE commands issued.
+    pub activates: u64,
+    /// PRECHARGE commands issued.
+    pub precharges: u64,
+    /// REFRESH commands issued.
+    pub refreshes: u64,
+    /// Sum of read latencies (arrival to data completion), memory cycles.
+    pub total_read_latency: u64,
+    /// Memory cycles the data bus spent transferring bursts.
+    pub bus_busy_cycles: u64,
+}
+
+impl ControllerStats {
+    /// Mean read latency in memory cycles.
+    pub fn avg_read_latency(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.total_read_latency as f64 / self.reads as f64
+        }
+    }
+
+    /// Data-bus utilisation over `elapsed` memory cycles.
+    pub fn bus_utilisation(&self, elapsed: u64) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            self.bus_busy_cycles as f64 / elapsed as f64
+        }
+    }
+
+    /// Row-hit rate over all column commands.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_closed + self.row_conflicts;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Pending {
+    req: MemRequest,
+    arrival: Cycles,
+    seq: u64,
+    /// How this request was served, decided by the first row command
+    /// issued on its behalf (None until then = would be a row hit).
+    served: Option<RowBufferState>,
+}
+
+/// The memory controller for one channel/rank.
+#[derive(Debug)]
+pub struct MemController {
+    cfg: ControllerConfig,
+    ranks: Vec<Rank>,
+    now: Cycles,
+    /// Shared data bus: end of the last burst and the rank that drove it
+    /// (rank switches pay tRTRS).
+    bus_free_at: Cycles,
+    bus_last_rank: Option<usize>,
+    /// Shared command bus: one command per cycle across all ranks.
+    cmd_bus_at: Cycles,
+    readq: Vec<Pending>,
+    writeq: Vec<Pending>,
+    completions: Vec<Completion>,
+    next_refresh: Cycles,
+    draining: bool,
+    seq: u64,
+    energy: EnergyMeter,
+    energy_cursor: Cycles,
+    stats: ControllerStats,
+    /// Banks scheduled for a closed-row-policy precharge.
+    pending_close: Vec<(usize, usize)>,
+    /// Optional command trace for timing verification in tests.
+    trace: Option<Vec<crate::command::TimedCommand>>,
+}
+
+impl MemController {
+    /// A controller with the given configuration.
+    pub fn new(cfg: ControllerConfig) -> Self {
+        let ranks = (0..cfg.ranks.max(1))
+            .map(|_| Rank::new(cfg.timing.clone(), cfg.banks))
+            .collect();
+        let energy = EnergyMeter::new(cfg.power.clone(), cfg.timing.clone());
+        let next_refresh = if cfg.refresh { cfg.timing.refi } else { Cycles::MAX };
+        MemController {
+            cfg,
+            ranks,
+            now: 0,
+            bus_free_at: 0,
+            bus_last_rank: None,
+            cmd_bus_at: 0,
+            readq: Vec::new(),
+            writeq: Vec::new(),
+            completions: Vec::new(),
+            next_refresh,
+            draining: false,
+            seq: 0,
+            energy,
+            energy_cursor: 0,
+            stats: ControllerStats::default(),
+            pending_close: Vec::new(),
+            trace: None,
+        }
+    }
+
+    /// Enables command tracing (used by the timing-verification tests).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// The trace collected so far, if tracing is enabled.
+    pub fn trace(&self) -> Option<&[crate::command::TimedCommand]> {
+        self.trace.as_deref()
+    }
+
+    /// Current memory-clock time.
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> ControllerStats {
+        self.stats
+    }
+
+    /// Energy accumulated so far.
+    pub fn energy(&self) -> crate::energy::EnergyBreakdown {
+        self.energy.breakdown()
+    }
+
+    /// Outstanding request count (both queues).
+    pub fn pending(&self) -> usize {
+        self.readq.len() + self.writeq.len()
+    }
+
+    /// Enqueues a request arriving at cycle `at` (which may be in the
+    /// future relative to [`now`](Self::now); it becomes schedulable
+    /// then).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the controller's current time — the
+    /// caller must not rewrite history.
+    pub fn enqueue(&mut self, req: MemRequest, at: Cycles) {
+        assert!(at >= self.now, "request arrives at {at} but now is {}", self.now);
+        let p = Pending { req, arrival: at, seq: self.seq, served: None };
+        self.seq += 1;
+        match req.kind {
+            AccessKind::Read => self.readq.push(p),
+            AccessKind::Write => self.writeq.push(p),
+        }
+    }
+
+    /// Removes and returns all completions with `at <= up_to`.
+    pub fn take_completions(&mut self, up_to: Cycles) -> Vec<Completion> {
+        let (done, rest): (Vec<_>, Vec<_>) =
+            self.completions.drain(..).partition(|c| c.at <= up_to);
+        self.completions = rest;
+        done
+    }
+
+    /// The earliest cycle at which *something* will happen if no new
+    /// requests arrive: the next schedulable command or refresh. `None`
+    /// if fully idle (no pending work, refresh disabled or far away is
+    /// still reported).
+    pub fn next_event(&self) -> Option<Cycles> {
+        let mut t = if self.pending() > 0 {
+            // A conservative lower bound; advance() computes exact times.
+            Some(self.now)
+        } else {
+            None
+        };
+        if self.cfg.refresh {
+            t = Some(t.map_or(self.next_refresh, |x| x.min(self.next_refresh)));
+        }
+        t
+    }
+
+    fn accrue_energy(&mut self, to: Cycles) {
+        if to > self.energy_cursor {
+            let delta = to - self.energy_cursor;
+            let active = self.ranks.iter().any(Rank::any_bank_active);
+            if !active && self.pending() == 0 {
+                // A genuinely idle gap: eligible for precharge
+                // power-down.
+                self.energy.on_idle_gap(delta);
+            } else {
+                self.energy.on_elapsed(delta, active);
+            }
+            self.energy_cursor = to;
+        }
+    }
+
+    fn issue(&mut self, rank: usize, cmd: DramCommand, at: Cycles) -> Option<Cycles> {
+        self.accrue_energy(at);
+        let done = self.ranks[rank].issue(&cmd, at);
+        if let Some(end) = done {
+            self.bus_free_at = self.bus_free_at.max(end);
+            self.bus_last_rank = Some(rank);
+            self.stats.bus_busy_cycles += self.cfg.timing.burst;
+        }
+        self.cmd_bus_at = self.cmd_bus_at.max(at + 1);
+        match cmd {
+            DramCommand::Activate { .. } => {
+                self.stats.activates += 1;
+                self.energy.on_activate();
+            }
+            DramCommand::Precharge { .. } => self.stats.precharges += 1,
+            DramCommand::Read { .. } => self.energy.on_read(64),
+            DramCommand::Write { .. } => self.energy.on_write(64),
+            DramCommand::Refresh => {
+                self.stats.refreshes += 1;
+                self.energy.on_refresh();
+            }
+        }
+        if let Some(t) = self.trace.as_mut() {
+            t.push(crate::command::TimedCommand { at, rank, cmd });
+        }
+        self.now = self.now.max(at);
+        done
+    }
+
+    /// Performs the periodic refresh sequence: precharge open banks,
+    /// then an all-bank REFRESH.
+    fn do_refresh(&mut self) {
+        let mut t = self.now.max(self.next_refresh);
+        for r in 0..self.ranks.len() {
+            for bank in self.ranks[r].open_banks() {
+                let cmd = DramCommand::Precharge { bank };
+                let at = self.ranks[r].earliest(&cmd, t).max(self.cmd_bus_at);
+                self.issue(r, cmd, at);
+                t = t.max(at);
+            }
+            let cmd = DramCommand::Refresh;
+            let at = self.ranks[r].earliest(&cmd, t).max(self.cmd_bus_at);
+            self.issue(r, cmd, at);
+            t = t.max(at);
+        }
+        self.next_refresh += self.cfg.timing.refi;
+    }
+
+    /// Whether writes should be serviced now.
+    fn serving_writes(&mut self, have_ready_read: bool) -> bool {
+        if self.writeq.len() >= self.cfg.write_high_watermark {
+            self.draining = true;
+        }
+        if self.writeq.len() <= self.cfg.write_low_watermark {
+            self.draining = false;
+        }
+        if self.writeq.is_empty() {
+            return false;
+        }
+        self.draining || !have_ready_read
+    }
+
+    /// For one queue, selects the per-bank representative request and its
+    /// next command, returning `(queue_index, command, earliest, is_hit,
+    /// seq)` candidates.
+    /// Earliest issue time for a command on `rank`, including the
+    /// shared command bus and (for column commands) the shared data bus
+    /// with rank-to-rank turnaround.
+    fn earliest_on(&self, rank: usize, cmd: &DramCommand, from: Cycles) -> Cycles {
+        let mut t = self.ranks[rank].earliest(cmd, from).max(self.cmd_bus_at);
+        if cmd.is_column() {
+            let latency = match cmd {
+                DramCommand::Read { .. } => self.cfg.timing.cl,
+                _ => self.cfg.timing.cwl,
+            };
+            let mut bus_ready = self.bus_free_at;
+            if self.bus_last_rank.is_some_and(|r| r != rank) {
+                bus_ready += self.cfg.timing.rtrs;
+            }
+            // Data burst must start at or after the bus is free.
+            t = t.max(bus_ready.saturating_sub(latency));
+        }
+        t
+    }
+
+    fn candidates(
+        &self,
+        queue: &[Pending],
+        from: Cycles,
+    ) -> Vec<(usize, usize, DramCommand, Cycles, bool, u64)> {
+        let banks = self.cfg.banks;
+        let slots = self.ranks.len() * banks;
+        let mut best_per_bank: Vec<Option<usize>> = vec![None; slots];
+        // Pass 1: pick the representative request per (rank, bank).
+        for (i, p) in queue.iter().enumerate() {
+            let loc = p.req.loc;
+            let state = self.ranks[loc.rank].row_state(loc.bank, loc.row);
+            let cur = &mut best_per_bank[loc.rank * banks + loc.bank];
+            match cur {
+                None => *cur = Some(i),
+                Some(j) => {
+                    let jp = &queue[*j];
+                    let j_state = self.ranks[loc.rank].row_state(loc.bank, jp.req.loc.row);
+                    let better = match self.cfg.policy {
+                        SchedPolicy::FrFcfs => {
+                            // Row hits beat non-hits; ties by age.
+                            let i_hit = state == RowBufferState::Hit;
+                            let j_hit = j_state == RowBufferState::Hit;
+                            (i_hit && !j_hit) || (i_hit == j_hit && p.seq < jp.seq)
+                        }
+                        SchedPolicy::Fcfs => p.seq < jp.seq,
+                    };
+                    if better {
+                        *cur = Some(i);
+                    }
+                }
+            }
+        }
+        // Pass 2: next command + earliest time for each representative.
+        let mut out = Vec::new();
+        for idx in best_per_bank.into_iter().flatten() {
+            let p = &queue[idx];
+            let loc = p.req.loc;
+            let state = self.ranks[loc.rank].row_state(loc.bank, loc.row);
+            let cmd = match state {
+                RowBufferState::Hit => match p.req.kind {
+                    AccessKind::Read => DramCommand::Read {
+                        bank: loc.bank,
+                        col: loc.col,
+                        pattern: p.req.pattern,
+                    },
+                    AccessKind::Write => DramCommand::Write {
+                        bank: loc.bank,
+                        col: loc.col,
+                        pattern: p.req.pattern,
+                    },
+                },
+                RowBufferState::Closed => DramCommand::Activate { bank: loc.bank, row: loc.row },
+                RowBufferState::Conflict => DramCommand::Precharge { bank: loc.bank },
+            };
+            let ready = self.earliest_on(loc.rank, &cmd, from.max(p.arrival));
+            out.push((idx, loc.rank, cmd, ready, state == RowBufferState::Hit, p.seq));
+        }
+        out
+    }
+
+    /// Advances the controller's clock to `to`, issuing every command
+    /// that can legally issue before then.
+    pub fn advance(&mut self, to: Cycles) {
+        while self.step(to) {}
+        self.now = self.now.max(to);
+        self.accrue_energy(self.now);
+    }
+
+    /// Whether any completions are recorded (at any time).
+    pub fn has_completions(&self) -> bool {
+        !self.completions.is_empty()
+    }
+
+    /// The earliest recorded completion time, if any.
+    pub fn peek_completion(&self) -> Option<Cycles> {
+        self.completions.iter().map(|c| c.at).min()
+    }
+
+    /// Advances just far enough that at least one completion exists,
+    /// issuing commands at their exact legal times (the clock never
+    /// overshoots the last issued command, so subsequently arriving
+    /// requests are not penalised). Returns the earliest completion
+    /// time, or `None` if no pending work can ever complete.
+    pub fn advance_until_completion(&mut self) -> Option<Cycles> {
+        loop {
+            if let Some(t) = self.peek_completion() {
+                return Some(t);
+            }
+            if self.pending() == 0 || !self.step(Cycles::MAX) {
+                return None;
+            }
+        }
+    }
+
+    /// Whether any queued request would hit the open row of
+    /// `(rank, bank)`.
+    fn queued_hit_for(&self, rank: usize, bank: usize) -> bool {
+        let Some(row) = self.ranks[rank].open_row(bank) else { return false };
+        self.readq
+            .iter()
+            .chain(self.writeq.iter())
+            .any(|p| p.req.loc.rank == rank && p.req.loc.bank == bank && p.req.loc.row == row)
+    }
+
+    /// Under the closed-row policy: the next due auto-precharge, if any
+    /// is still warranted (drops entries whose row closed or became
+    /// useful again).
+    fn close_candidate(&mut self, from: Cycles) -> Option<(usize, DramCommand, Cycles)> {
+        while let Some(&(rank, bank)) = self.pending_close.first() {
+            if self.ranks[rank].open_row(bank).is_none() || self.queued_hit_for(rank, bank) {
+                self.pending_close.remove(0);
+                continue;
+            }
+            let cmd = DramCommand::Precharge { bank };
+            let at = self.earliest_on(rank, &cmd, from);
+            return Some((rank, cmd, at));
+        }
+        None
+    }
+
+    /// Issues the single next command whose legal issue time is ≤
+    /// `limit` (refresh included), advancing the clock exactly to it.
+    /// Returns `false` when nothing could be issued within `limit`.
+    fn step(&mut self, limit: Cycles) -> bool {
+        {
+            let read_cands = self.candidates(&self.readq, self.now);
+            let have_ready_read = !read_cands.is_empty();
+            let writes = self.serving_writes(have_ready_read);
+            let cands = if writes {
+                self.candidates(&self.writeq, self.now)
+            } else {
+                read_cands
+            };
+            let from_writeq = writes;
+
+            let best = cands
+                .iter()
+                .min_by(|a, b| (a.3, !a.4, a.5).cmp(&(b.3, !b.4, b.5)))
+                .copied();
+
+            // Closed-row policy: a due auto-precharge competes with (and
+            // on ties loses to) request commands.
+            if self.cfg.row_policy == RowPolicy::Closed {
+                if let Some((rank, cmd, at)) = self.close_candidate(self.now) {
+                    let beats = best.is_none_or(|(_, _, _, bat, _, _)| at < bat);
+                    let refresh_blocks = self.cfg.refresh
+                        && self.next_refresh <= limit
+                        && at >= self.next_refresh;
+                    if beats && !refresh_blocks {
+                        if at > limit {
+                            return false;
+                        }
+                        self.issue(rank, cmd, at);
+                        self.pending_close.remove(0);
+                        return true;
+                    }
+                }
+            }
+
+            // Refresh takes priority over any command not strictly
+            // earlier than it.
+            if self.cfg.refresh
+                && self.next_refresh <= limit
+                && best.is_none_or(|(_, _, _, at, _, _)| at >= self.next_refresh)
+            {
+                self.do_refresh();
+                return true;
+            }
+
+            let Some((idx, rank, cmd, at, _hit, _seq)) = best else {
+                return false; // nothing pending
+            };
+
+            // Do not run past `limit`.
+            if at > limit {
+                return false;
+            }
+
+            let is_column = cmd.is_column();
+            let data_end = self.issue(rank, cmd, at);
+            if is_column && self.cfg.row_policy == RowPolicy::Closed {
+                if let Some(bank) = cmd.bank() {
+                    if !self.pending_close.contains(&(rank, bank)) {
+                        self.pending_close.push((rank, bank));
+                    }
+                }
+            }
+            let queue = if from_writeq { &mut self.writeq } else { &mut self.readq };
+            if is_column {
+                let p = queue.swap_remove(idx);
+                let at_done = data_end.expect("column command returns completion");
+                self.completions.push(Completion { id: p.req.id, at: at_done });
+                match p.served.unwrap_or(RowBufferState::Hit) {
+                    RowBufferState::Hit => self.stats.row_hits += 1,
+                    RowBufferState::Closed => self.stats.row_closed += 1,
+                    RowBufferState::Conflict => self.stats.row_conflicts += 1,
+                }
+                match p.req.kind {
+                    AccessKind::Read => {
+                        self.stats.reads += 1;
+                        self.stats.total_read_latency += at_done - p.arrival;
+                    }
+                    AccessKind::Write => self.stats.writes += 1,
+                }
+            } else {
+                // Remember how this request is being served: a precharge
+                // marks a row conflict; a bare activate a closed-row
+                // access.
+                let p = &mut queue[idx];
+                match cmd {
+                    DramCommand::Activate { .. }
+                        if p.served.is_none() => {
+                            p.served = Some(RowBufferState::Closed);
+                        }
+                    DramCommand::Precharge { .. } => p.served = Some(RowBufferState::Conflict),
+                    _ => {}
+                }
+            }
+            true
+        }
+    }
+
+    /// Runs until all pending requests have completed, returning the
+    /// cycle the last data burst finished.
+    pub fn drain(&mut self) -> Cycles {
+        let mut last = self.now;
+        while self.pending() > 0 {
+            let target = self.now + self.cfg.timing.refi;
+            self.advance(target);
+        }
+        for c in &self.completions {
+            last = last.max(c.at);
+        }
+        last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::AddressMap;
+    use gsdram_core::PatternId;
+
+    fn read_req(id: u64, addr: u64) -> MemRequest {
+        MemRequest {
+            id,
+            loc: AddressMap::table1().decompose(addr),
+            pattern: PatternId(0),
+            kind: AccessKind::Read,
+        }
+    }
+
+    fn write_req(id: u64, addr: u64) -> MemRequest {
+        MemRequest { kind: AccessKind::Write, ..read_req(id, addr) }
+    }
+
+    fn quiet_cfg() -> ControllerConfig {
+        ControllerConfig { refresh: false, ..ControllerConfig::default() }
+    }
+
+    #[test]
+    fn single_read_latency_is_closed_row_path() {
+        let mut c = MemController::new(quiet_cfg());
+        c.enqueue(read_req(1, 0), 0);
+        c.advance(1000);
+        let done = c.take_completions(1000);
+        assert_eq!(done.len(), 1);
+        let t = TimingParams::ddr3_1600();
+        // ACT at 0, READ at tRCD, data at +CL+burst.
+        assert_eq!(done[0].at, t.rcd + t.cl + t.burst);
+        assert_eq!(c.stats().reads, 1);
+        assert_eq!(c.stats().row_closed, 1);
+    }
+
+    #[test]
+    fn row_hit_is_faster_than_conflict() {
+        // Two reads to the same row: second is a hit, spaced by tCCD.
+        let mut c = MemController::new(quiet_cfg());
+        c.enqueue(read_req(1, 0), 0);
+        c.enqueue(read_req(2, 64), 0);
+        c.advance(1000);
+        let done = c.take_completions(1000);
+        let t = TimingParams::ddr3_1600();
+        assert_eq!(done[1].at - done[0].at, t.ccd);
+        assert_eq!(c.stats().row_hits, 1);
+        assert_eq!(c.stats().row_closed, 1);
+
+        // Conflict: same bank, different row.
+        let mut c = MemController::new(quiet_cfg());
+        c.enqueue(read_req(1, 0), 0);
+        // Row 1 of bank 0 starts at line 128*8 = addr 65536.
+        c.enqueue(read_req(2, 65536), 0);
+        c.advance(10000);
+        let done = c.take_completions(10000);
+        assert!(done[1].at - done[0].at > t.ccd * 4);
+        assert_eq!(c.stats().row_conflicts, 1);
+    }
+
+    #[test]
+    fn frfcfs_prefers_row_hits_over_older_conflicts() {
+        let mut c = MemController::new(quiet_cfg());
+        // Open row 0 of bank 0.
+        c.enqueue(read_req(1, 0), 0);
+        c.advance(50);
+        // Older conflicting request (row 1), then a younger hit (row 0).
+        c.enqueue(read_req(2, 65536), 50);
+        c.enqueue(read_req(3, 64), 50);
+        c.advance(10000);
+        let done = c.take_completions(10000);
+        let pos2 = done.iter().position(|x| x.id == 2).unwrap();
+        let pos3 = done.iter().position(|x| x.id == 3).unwrap();
+        assert!(done[pos3].at < done[pos2].at, "hit must finish first");
+    }
+
+    #[test]
+    fn fcfs_serves_in_arrival_order() {
+        let mut c = MemController::new(ControllerConfig {
+            policy: SchedPolicy::Fcfs,
+            refresh: false,
+            ..ControllerConfig::default()
+        });
+        c.enqueue(read_req(1, 0), 0);
+        c.advance(50);
+        c.enqueue(read_req(2, 65536), 50);
+        c.enqueue(read_req(3, 64), 50);
+        c.advance(20000);
+        let done = c.take_completions(20000);
+        let pos2 = done.iter().position(|x| x.id == 2).unwrap();
+        let pos3 = done.iter().position(|x| x.id == 3).unwrap();
+        assert!(done[pos2].at < done[pos3].at, "FCFS must serve older first");
+    }
+
+    #[test]
+    fn writes_drain_when_no_reads() {
+        let mut c = MemController::new(quiet_cfg());
+        c.enqueue(write_req(1, 0), 0);
+        c.advance(1000);
+        assert_eq!(c.stats().writes, 1);
+        assert_eq!(c.take_completions(1000).len(), 1);
+    }
+
+    #[test]
+    fn reads_prioritized_over_writes_below_watermark() {
+        let mut c = MemController::new(quiet_cfg());
+        c.enqueue(write_req(1, 65536), 0);
+        c.enqueue(read_req(2, 0), 0);
+        c.advance(10000);
+        let done = c.take_completions(10000);
+        let pos1 = done.iter().position(|x| x.id == 1).unwrap();
+        let pos2 = done.iter().position(|x| x.id == 2).unwrap();
+        assert!(done[pos2].at < done[pos1].at, "read must finish before write");
+    }
+
+    #[test]
+    fn write_watermark_forces_drain() {
+        let mut cfg = quiet_cfg();
+        cfg.write_high_watermark = 4;
+        cfg.write_low_watermark = 1;
+        let mut c = MemController::new(cfg);
+        for i in 0..6 {
+            c.enqueue(write_req(i, i * 64), 0);
+        }
+        // A stream of reads that would otherwise starve writes.
+        for i in 0..4 {
+            c.enqueue(read_req(100 + i, 1_000_000 + i * 64), 0);
+        }
+        c.advance(100_000);
+        assert_eq!(c.stats().writes, 6);
+        assert_eq!(c.stats().reads, 4);
+    }
+
+    #[test]
+    fn refresh_happens_periodically() {
+        let mut c = MemController::new(ControllerConfig::default());
+        let t = TimingParams::ddr3_1600();
+        c.advance(t.refi * 3 + 10);
+        assert_eq!(c.stats().refreshes, 3);
+    }
+
+    #[test]
+    fn refresh_closes_open_rows() {
+        let mut c = MemController::new(ControllerConfig::default());
+        c.enqueue(read_req(1, 0), 0);
+        let t = TimingParams::ddr3_1600();
+        c.advance(t.refi + t.rfc + 100);
+        assert_eq!(c.stats().refreshes, 1);
+        assert!(c.stats().precharges >= 1, "open row must close before REF");
+    }
+
+    #[test]
+    fn advance_does_not_issue_past_target() {
+        let mut c = MemController::new(quiet_cfg());
+        c.enqueue(read_req(1, 0), 0);
+        c.advance(5); // Not enough time for ACT+RCD+READ.
+        assert_eq!(c.pending(), 1);
+        assert_eq!(c.take_completions(5).len(), 0);
+        c.advance(1000);
+        assert_eq!(c.take_completions(1000).len(), 1);
+    }
+
+    #[test]
+    fn future_arrivals_wait() {
+        let mut c = MemController::new(quiet_cfg());
+        c.enqueue(read_req(1, 0), 500);
+        c.advance(400);
+        assert_eq!(c.take_completions(400).len(), 0);
+        c.advance(2000);
+        let done = c.take_completions(2000);
+        assert_eq!(done.len(), 1);
+        assert!(done[0].at >= 500);
+    }
+
+    #[test]
+    fn pattern_reads_cost_the_same_as_normal_reads() {
+        // The core claim of §3.6: a gather is one ordinary READ.
+        let t = TimingParams::ddr3_1600();
+        let mut normal = MemController::new(quiet_cfg());
+        normal.enqueue(read_req(1, 0), 0);
+        normal.advance(1000);
+        let t_normal = normal.take_completions(1000)[0].at;
+
+        let mut gs = MemController::new(quiet_cfg());
+        gs.enqueue(
+            MemRequest { pattern: PatternId(7), ..read_req(1, 0) },
+            0,
+        );
+        gs.advance(1000);
+        let t_gs = gs.take_completions(1000)[0].at;
+        assert_eq!(t_normal, t_gs);
+        assert_eq!(t_gs, t.rcd + t.cl + t.burst);
+    }
+
+    #[test]
+    fn drain_completes_everything() {
+        let mut c = MemController::new(ControllerConfig::default());
+        for i in 0..64 {
+            c.enqueue(read_req(i, i * 64 * 997), i);
+        }
+        let end = c.drain();
+        assert_eq!(c.pending(), 0);
+        let done = c.take_completions(end);
+        assert_eq!(done.len(), 64);
+    }
+
+    #[test]
+    fn two_ranks_overlap_row_activations() {
+        // The same two row-conflict streams finish faster when split
+        // across ranks: activations overlap while the data bus is shared.
+        let map2 = AddressMap::with_ranks(64, 128, 8, 2, crate::mapping::Interleave::ColumnFirst);
+        let run = |ranks: usize| {
+            let mut c = MemController::new(ControllerConfig {
+                ranks,
+                refresh: false,
+                ..ControllerConfig::default()
+            });
+            // Requests alternating between two far-apart regions that
+            // map to the same bank (rank differs when ranks = 2).
+            let stride = 128 * 64; // one full row of one bank
+            for i in 0..16u64 {
+                let addr = (i % 2) * (8 * stride) + (i / 2) * 16 * stride;
+                let loc = if ranks == 2 { map2.decompose(addr) } else {
+                    AddressMap::table1().decompose(addr)
+                };
+                c.enqueue(
+                    MemRequest { id: i, loc, pattern: PatternId(0), kind: AccessKind::Read },
+                    0,
+                );
+            }
+            c.drain()
+        };
+        let one = run(1);
+        let two = run(2);
+        assert!(two < one, "2 ranks {two} !< 1 rank {one}");
+    }
+
+    #[test]
+    fn rank_turnaround_separates_bursts() {
+        // Two row hits on different ranks must be spaced by at least
+        // the burst plus tRTRS on the data bus.
+        let t = TimingParams::ddr3_1600();
+        let map2 = AddressMap::with_ranks(64, 128, 8, 2, crate::mapping::Interleave::ColumnFirst);
+        let mut c = MemController::new(ControllerConfig {
+            ranks: 2,
+            refresh: false,
+            ..ControllerConfig::default()
+        });
+        c.enable_trace();
+        // Rank 0 and rank 1, same bank/row/col.
+        let a0 = 0u64;
+        let a1 = 128 * 64 * 8; // next rank, ColumnFirst with 8 banks
+        assert_eq!(map2.decompose(a1).rank, 1);
+        c.enqueue(MemRequest { id: 0, loc: map2.decompose(a0), pattern: PatternId(0), kind: AccessKind::Read }, 0);
+        c.enqueue(MemRequest { id: 1, loc: map2.decompose(a1), pattern: PatternId(0), kind: AccessKind::Read }, 0);
+        let end = c.drain();
+        let done = c.take_completions(end);
+        let mut ats: Vec<u64> = done.iter().map(|x| x.at).collect();
+        ats.sort_unstable();
+        assert!(ats[1] - ats[0] >= t.burst + t.rtrs, "bursts too close: {ats:?}");
+        crate::verify::check_trace(c.trace().unwrap(), &t, 8).unwrap();
+    }
+
+    #[test]
+    fn closed_policy_precharges_idle_rows() {
+        let mut c = MemController::new(ControllerConfig {
+            row_policy: RowPolicy::Closed,
+            refresh: false,
+            ..ControllerConfig::default()
+        });
+        c.enable_trace();
+        c.enqueue(read_req(1, 0), 0);
+        c.advance(1000);
+        assert_eq!(c.take_completions(1000).len(), 1);
+        // The row was closed by policy, without any conflicting access.
+        assert_eq!(c.stats().precharges, 1);
+        // A second access to a different row pays no conflict precharge.
+        c.enqueue(read_req(2, 65536), 1000);
+        c.advance(5000);
+        assert_eq!(c.stats().row_conflicts, 0);
+        crate::verify::check_trace(
+            c.trace().unwrap(),
+            &TimingParams::ddr3_1600(),
+            8,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn closed_policy_spares_rows_with_queued_hits() {
+        let mut c = MemController::new(ControllerConfig {
+            row_policy: RowPolicy::Closed,
+            refresh: false,
+            ..ControllerConfig::default()
+        });
+        // Two hits to the same row queued together: no precharge between
+        // them.
+        c.enqueue(read_req(1, 0), 0);
+        c.enqueue(read_req(2, 64), 0);
+        c.advance(10_000);
+        let done = c.take_completions(10_000);
+        let t = TimingParams::ddr3_1600();
+        assert_eq!(done[1].at - done[0].at, t.ccd, "second hit not delayed");
+    }
+
+    #[test]
+    fn open_vs_closed_tradeoff() {
+        // Streaming (row hits) favours open; random rows favour closed.
+        let stream = |policy| {
+            let mut c = MemController::new(ControllerConfig {
+                row_policy: policy,
+                refresh: false,
+                ..ControllerConfig::default()
+            });
+            for i in 0..32u64 {
+                c.enqueue(read_req(i, i * 64), i * 40);
+            }
+            c.drain()
+        };
+        assert!(stream(RowPolicy::Open) <= stream(RowPolicy::Closed));
+
+        let random_rows = |policy| {
+            let mut c = MemController::new(ControllerConfig {
+                row_policy: policy,
+                refresh: false,
+                ..ControllerConfig::default()
+            });
+            for i in 0..32u64 {
+                // Same bank, different row each time, spaced out enough
+                // for the auto-precharge to win.
+                c.enqueue(read_req(i, i * 65536), i * 120);
+            }
+            c.drain()
+        };
+        assert!(random_rows(RowPolicy::Closed) < random_rows(RowPolicy::Open));
+    }
+
+    #[test]
+    fn energy_accumulates_with_activity() {
+        let mut c = MemController::new(quiet_cfg());
+        c.enqueue(read_req(1, 0), 0);
+        c.advance(10_000);
+        let e = c.energy();
+        assert!(e.activation_nj > 0.0);
+        assert!(e.read_nj > 0.0);
+        assert!(e.background_nj > 0.0);
+        assert!(e.total_nj() > e.read_nj);
+    }
+
+    #[test]
+    fn bus_busy_cycles_track_bursts() {
+        let mut c = MemController::new(quiet_cfg());
+        for i in 0..16 {
+            c.enqueue(read_req(i, i * 64), 0);
+        }
+        let end = c.drain();
+        let t = TimingParams::ddr3_1600();
+        assert_eq!(c.stats().bus_busy_cycles, 16 * t.burst);
+        assert!(c.stats().bus_utilisation(end) > 0.0);
+        assert!(c.stats().bus_utilisation(end) <= 1.0);
+        assert_eq!(c.stats().bus_utilisation(0), 0.0);
+    }
+
+    #[test]
+    fn stats_track_hit_rate() {
+        let mut c = MemController::new(quiet_cfg());
+        for i in 0..16 {
+            c.enqueue(read_req(i, i * 64), 0);
+        }
+        c.advance(100_000);
+        let s = c.stats();
+        assert_eq!(s.reads, 16);
+        assert_eq!(s.row_hits, 15);
+        assert!(s.row_hit_rate() > 0.9);
+        assert!(s.avg_read_latency() > 0.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Physical address to DRAM-coordinate mapping.
+
+use crate::command::BankId;
+use gsdram_core::{ColumnId, RowId};
+
+/// Where a cache line lives in the DRAM hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DramLocation {
+    /// Rank index within the channel.
+    pub rank: usize,
+    /// Bank index within the rank.
+    pub bank: BankId,
+    /// Row within the bank.
+    pub row: RowId,
+    /// Cache-line column within the row.
+    pub col: ColumnId,
+}
+
+/// Which coordinate consecutive cache lines walk first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interleave {
+    /// Consecutive lines fill the columns of one row before moving to
+    /// the next bank (row-streaming scans enjoy row-buffer hits — the
+    /// open-row-friendly mapping the paper's HTAP analysis assumes).
+    ColumnFirst,
+    /// Consecutive lines stripe across banks (maximises bank-level
+    /// parallelism at the cost of row locality).
+    BankFirst,
+}
+
+/// Maps byte addresses to (bank, row, column) coordinates.
+///
+/// ```
+/// use gsdram_dram::mapping::{AddressMap, Interleave};
+/// let m = AddressMap::new(64, 128, 8, Interleave::ColumnFirst);
+/// let a = m.decompose(0);
+/// let b = m.decompose(64);
+/// assert_eq!(a.bank, b.bank);
+/// assert_eq!(a.row, b.row);
+/// assert_eq!(b.col.0, a.col.0 + 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMap {
+    line_bytes: u64,
+    cols_per_row: u64,
+    banks: u64,
+    ranks: u64,
+    interleave: Interleave,
+}
+
+impl AddressMap {
+    /// A map for lines of `line_bytes`, rows of `cols_per_row` lines and
+    /// `banks` banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero or `line_bytes` is not a power of
+    /// two.
+    pub fn new(line_bytes: u64, cols_per_row: u64, banks: u64, interleave: Interleave) -> Self {
+        Self::with_ranks(line_bytes, cols_per_row, banks, 1, interleave)
+    }
+
+    /// A map over `ranks` ranks: the rank index varies just above the
+    /// bank bits (whichever interleave is chosen).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero or `line_bytes` is not a power
+    /// of two.
+    pub fn with_ranks(
+        line_bytes: u64,
+        cols_per_row: u64,
+        banks: u64,
+        ranks: u64,
+        interleave: Interleave,
+    ) -> Self {
+        assert!(line_bytes.is_power_of_two() && line_bytes > 0);
+        assert!(cols_per_row > 0 && banks > 0 && ranks > 0);
+        AddressMap {
+            line_bytes,
+            cols_per_row,
+            banks,
+            ranks,
+            interleave,
+        }
+    }
+
+    /// The Table 1 system: 64-byte lines, 8 KB rows (128 lines), 8 banks,
+    /// one rank, column-first interleave.
+    pub fn table1() -> Self {
+        Self::new(64, 128, 8, Interleave::ColumnFirst)
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// The cache-line index of a byte address.
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr / self.line_bytes
+    }
+
+    /// DRAM coordinates of the cache line containing `addr`.
+    pub fn decompose(&self, addr: u64) -> DramLocation {
+        let line = self.line_of(addr);
+        match self.interleave {
+            Interleave::ColumnFirst => {
+                let col = line % self.cols_per_row;
+                let bank = (line / self.cols_per_row) % self.banks;
+                let rank = (line / (self.cols_per_row * self.banks)) % self.ranks;
+                let row = line / (self.cols_per_row * self.banks * self.ranks);
+                DramLocation {
+                    rank: rank as usize,
+                    bank: bank as BankId,
+                    row: RowId(row as u32),
+                    col: ColumnId(col as u32),
+                }
+            }
+            Interleave::BankFirst => {
+                let bank = line % self.banks;
+                let rank = (line / self.banks) % self.ranks;
+                let col = (line / (self.banks * self.ranks)) % self.cols_per_row;
+                let row = line / (self.banks * self.ranks * self.cols_per_row);
+                DramLocation {
+                    rank: rank as usize,
+                    bank: bank as BankId,
+                    row: RowId(row as u32),
+                    col: ColumnId(col as u32),
+                }
+            }
+        }
+    }
+
+    /// Inverse of [`decompose`](Self::decompose): the first byte address
+    /// of a location's line.
+    pub fn compose(&self, loc: DramLocation) -> u64 {
+        let line = match self.interleave {
+            Interleave::ColumnFirst => {
+                ((loc.row.0 as u64 * self.ranks + loc.rank as u64) * self.banks
+                    + loc.bank as u64)
+                    * self.cols_per_row
+                    + loc.col.0 as u64
+            }
+            Interleave::BankFirst => {
+                ((loc.row.0 as u64 * self.cols_per_row + loc.col.0 as u64) * self.ranks
+                    + loc.rank as u64)
+                    * self.banks
+                    + loc.bank as u64
+            }
+        };
+        line * self.line_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_first_keeps_scans_in_row() {
+        let m = AddressMap::table1();
+        let locs: Vec<_> = (0..128u64).map(|i| m.decompose(i * 64)).collect();
+        assert!(locs.iter().all(|l| l.bank == 0 && l.row == RowId(0)));
+        assert_eq!(locs[127].col, ColumnId(127));
+        // Line 128 spills into the next bank, same row index.
+        let next = m.decompose(128 * 64);
+        assert_eq!(next.bank, 1);
+        assert_eq!(next.col, ColumnId(0));
+    }
+
+    #[test]
+    fn bank_first_stripes() {
+        let m = AddressMap::new(64, 128, 8, Interleave::BankFirst);
+        for i in 0..8u64 {
+            assert_eq!(m.decompose(i * 64).bank, i as usize);
+        }
+        assert_eq!(m.decompose(8 * 64).bank, 0);
+        assert_eq!(m.decompose(8 * 64).col, ColumnId(1));
+    }
+
+    #[test]
+    fn compose_inverts_decompose() {
+        for interleave in [Interleave::ColumnFirst, Interleave::BankFirst] {
+            let m = AddressMap::new(64, 128, 8, interleave);
+            for line in [0u64, 1, 127, 128, 1023, 999_999] {
+                let addr = line * 64;
+                assert_eq!(m.compose(m.decompose(addr)), addr, "{interleave:?} {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn sub_line_addresses_share_a_location() {
+        let m = AddressMap::table1();
+        assert_eq!(m.decompose(64), m.decompose(65));
+        assert_eq!(m.decompose(64), m.decompose(127));
+        assert_ne!(m.decompose(64), m.decompose(128));
+    }
+}

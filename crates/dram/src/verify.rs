@@ -1,0 +1,278 @@
+//! Independent DDR3 command-trace verification.
+//!
+//! [`check_trace`] replays a [`TimedCommand`] log against the JEDEC
+//! rules, re-deriving every constraint independently of the
+//! [`Rank`](crate::bank::Rank) state machine — so a bookkeeping bug in
+//! the controller cannot mask itself. The controller's own tests and
+//! the property suite run every generated trace through it; users
+//! embedding the controller can do the same via
+//! [`MemController::enable_trace`](crate::controller::MemController::enable_trace).
+
+use crate::command::{DramCommand, TimedCommand};
+use crate::timing::{Cycles, TimingParams};
+use core::fmt;
+
+/// A specific timing-rule violation found in a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimingViolation {
+    /// Cycle of the offending command.
+    pub at: Cycles,
+    /// The rule violated (e.g. "tRCD", "tFAW", "bus conflict").
+    pub rule: &'static str,
+    /// Human-readable details.
+    pub detail: String,
+}
+
+impl fmt::Display for TimingViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} violation at cycle {}: {}", self.rule, self.at, self.detail)
+    }
+}
+
+impl std::error::Error for TimingViolation {}
+
+/// Replays `trace` (for a rank of `banks` banks) against the DDR3 rules
+/// in `t`.
+///
+/// # Errors
+///
+/// Returns the first [`TimingViolation`] encountered; `Ok(())` means the
+/// whole trace is JEDEC-legal.
+pub fn check_trace(
+    trace: &[TimedCommand],
+    t: &TimingParams,
+    banks: usize,
+) -> Result<(), TimingViolation> {
+    let ranks = trace.iter().map(|c| c.rank + 1).max().unwrap_or(1);
+    // Per-rank state.
+    let mut open: Vec<Vec<Option<u32>>> = vec![vec![None; banks]; ranks];
+    let mut last_act = vec![vec![None::<u64>; banks]; ranks];
+    let mut last_pre = vec![vec![None::<u64>; banks]; ranks];
+    let mut acts: Vec<Vec<u64>> = vec![Vec::new(); ranks];
+    let mut refresh_until: Vec<u64> = vec![0; ranks];
+    // tCCD/tWTR/read-to-write turnaround are per-rank device
+    // constraints; cross-rank spacing is enforced by the shared-bus
+    // burst check below.
+    let mut last_col_read: Vec<Option<u64>> = vec![None; ranks];
+    let mut last_col_write: Vec<Option<u64>> = vec![None; ranks];
+    let mut last_cmd_at: Option<u64> = None;
+    // Shared data bus: (burst end, driving rank).
+    let mut last_burst: Option<(u64, usize)> = None;
+
+    let err = |at, rule, detail: String| Err(TimingViolation { at, rule, detail });
+
+    for tc in trace {
+        let at = tc.at;
+        let r = tc.rank;
+        let open = &mut open[r];
+        let last_act = &mut last_act[r];
+        let last_pre = &mut last_pre[r];
+        let acts = &mut acts[r];
+        let refresh_until = &mut refresh_until[r];
+        let rank_col_read = last_col_read[r];
+        let rank_col_write = last_col_write[r];
+        if let Some(prev) = last_cmd_at {
+            if at == prev {
+                return err(at, "command bus", "two commands in one cycle".into());
+            }
+            if at < prev {
+                return err(at, "ordering", format!("trace goes backwards after {prev}"));
+            }
+        }
+        last_cmd_at = Some(at);
+        match tc.cmd {
+            DramCommand::Activate { bank, row } => {
+                if open[bank].is_some() {
+                    return err(at, "state", format!("ACT to open bank {bank}"));
+                }
+                if at < *refresh_until {
+                    return err(at, "tRFC", format!("ACT during refresh (until {refresh_until})"));
+                }
+                if let Some(a) = last_act[bank] {
+                    if at < a + t.rc {
+                        return err(at, "tRC", format!("bank {bank} re-activated {} early", a + t.rc - at));
+                    }
+                }
+                if let Some(p) = last_pre[bank] {
+                    if at < p + t.rp {
+                        return err(at, "tRP", format!("bank {bank} activated {} early", p + t.rp - at));
+                    }
+                }
+                if let Some(&a) = acts.last() {
+                    if at < a + t.rrd {
+                        return err(at, "tRRD", format!("activate {} early", a + t.rrd - at));
+                    }
+                }
+                if acts.len() >= 4 {
+                    let w = acts[acts.len() - 4];
+                    if at < w + t.faw {
+                        return err(at, "tFAW", format!("5th activate inside window from {w}"));
+                    }
+                }
+                open[bank] = Some(row.0);
+                last_act[bank] = Some(at);
+                acts.push(at);
+            }
+            DramCommand::Precharge { bank } => {
+                if open[bank].is_none() {
+                    return err(at, "state", format!("PRE to closed bank {bank}"));
+                }
+                if let Some(a) = last_act[bank] {
+                    if at < a + t.ras {
+                        return err(at, "tRAS", format!("bank {bank} precharged {} early", a + t.ras - at));
+                    }
+                }
+                open[bank] = None;
+                last_pre[bank] = Some(at);
+            }
+            DramCommand::Read { bank, .. } => {
+                if open[bank].is_none() {
+                    return err(at, "state", format!("READ to closed bank {bank}"));
+                }
+                if let Some(a) = last_act[bank] {
+                    if at < a + t.rcd {
+                        return err(at, "tRCD", "read before row ready".into());
+                    }
+                }
+                if let Some(prev_rd) = rank_col_read {
+                    if at < prev_rd + t.ccd {
+                        return err(at, "tCCD", "reads too close".into());
+                    }
+                }
+                if let Some(w) = rank_col_write {
+                    if at < w + t.cwl + t.burst + t.wtr {
+                        return err(at, "tWTR", "read too soon after write burst".into());
+                    }
+                }
+                let start = at + t.cl;
+                if let Some((end, rank)) = last_burst {
+                    let gap = if rank != r { t.rtrs } else { 0 };
+                    if start < end + gap {
+                        return err(at, "data bus", "read burst overlaps previous burst".into());
+                    }
+                }
+                last_burst = Some((start + t.burst, r));
+                last_col_read[r] = Some(at);
+            }
+            DramCommand::Write { bank, .. } => {
+                if open[bank].is_none() {
+                    return err(at, "state", format!("WRITE to closed bank {bank}"));
+                }
+                if let Some(a) = last_act[bank] {
+                    if at < a + t.rcd {
+                        return err(at, "tRCD", "write before row ready".into());
+                    }
+                }
+                if let Some(w) = rank_col_write {
+                    if at < w + t.ccd {
+                        return err(at, "tCCD", "writes too close".into());
+                    }
+                }
+                if let Some(prev_rd) = rank_col_read {
+                    if at + t.cwl < prev_rd + t.cl + t.burst + t.rtw {
+                        return err(at, "bus turnaround", "write data collides with read burst".into());
+                    }
+                }
+                let start = at + t.cwl;
+                if let Some((end, rank)) = last_burst {
+                    let gap = if rank != r { t.rtrs } else { 0 };
+                    if start < end + gap {
+                        return err(at, "data bus", "write burst overlaps previous burst".into());
+                    }
+                }
+                last_burst = Some((start + t.burst, r));
+                last_col_write[r] = Some(at);
+            }
+            DramCommand::Refresh => {
+                if open.iter().any(Option::is_some) {
+                    return err(at, "state", "REF with open banks".into());
+                }
+                *refresh_until = at + t.rfc;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsdram_core::{ColumnId, PatternId, RowId};
+
+    fn act(at: u64, bank: usize, row: u32) -> TimedCommand {
+        TimedCommand { at, rank: 0, cmd: DramCommand::Activate { bank, row: RowId(row) } }
+    }
+
+    fn read(at: u64, bank: usize) -> TimedCommand {
+        TimedCommand {
+            at,
+            rank: 0,
+            cmd: DramCommand::Read { bank, col: ColumnId(0), pattern: PatternId(0) },
+        }
+    }
+
+    fn pre(at: u64, bank: usize) -> TimedCommand {
+        TimedCommand { at, rank: 0, cmd: DramCommand::Precharge { bank } }
+    }
+
+    #[test]
+    fn accepts_legal_sequence() {
+        let t = TimingParams::ddr3_1600();
+        let trace = vec![act(0, 0, 1), read(t.rcd, 0), pre(t.ras, 0)];
+        check_trace(&trace, &t, 8).unwrap();
+    }
+
+    #[test]
+    fn catches_trcd() {
+        let t = TimingParams::ddr3_1600();
+        let trace = vec![act(0, 0, 1), read(t.rcd - 1, 0)];
+        let e = check_trace(&trace, &t, 8).unwrap_err();
+        assert_eq!(e.rule, "tRCD");
+        assert!(e.to_string().contains("tRCD"));
+    }
+
+    #[test]
+    fn catches_tras() {
+        let t = TimingParams::ddr3_1600();
+        let trace = vec![act(0, 0, 1), pre(t.ras - 1, 0)];
+        assert_eq!(check_trace(&trace, &t, 8).unwrap_err().rule, "tRAS");
+    }
+
+    #[test]
+    fn catches_double_activate() {
+        let t = TimingParams::ddr3_1600();
+        let trace = vec![act(0, 0, 1), act(5, 0, 2)];
+        assert_eq!(check_trace(&trace, &t, 8).unwrap_err().rule, "state");
+    }
+
+    #[test]
+    fn catches_faw() {
+        let t = TimingParams::ddr3_1600();
+        let mut trace = Vec::new();
+        let mut at = 0;
+        for b in 0..5usize {
+            trace.push(act(at, b, 1));
+            at += t.rrd;
+        }
+        // 5 activates spaced only by tRRD violate tFAW (4*tRRD < tFAW).
+        assert!(4 * t.rrd < t.faw, "test premise");
+        assert_eq!(check_trace(&trace, &t, 8).unwrap_err().rule, "tFAW");
+    }
+
+    #[test]
+    fn catches_bus_double_issue() {
+        let t = TimingParams::ddr3_1600();
+        let trace = vec![act(0, 0, 1), act(0, 1, 1)];
+        assert_eq!(check_trace(&trace, &t, 8).unwrap_err().rule, "command bus");
+    }
+
+    #[test]
+    fn catches_refresh_with_open_bank() {
+        let t = TimingParams::ddr3_1600();
+        let trace = vec![
+            act(0, 0, 1),
+            TimedCommand { at: 5, rank: 0, cmd: DramCommand::Refresh },
+        ];
+        assert_eq!(check_trace(&trace, &t, 8).unwrap_err().rule, "state");
+    }
+}

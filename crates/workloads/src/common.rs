@@ -1,0 +1,128 @@
+//! Shared workload plumbing: lazy op streams as programs.
+
+use gsdram_system::ops::{Op, Program};
+
+/// A [`Program`] driven by a boxed lazy iterator of ops, folding loaded
+/// values into a checksum and counting completed work units.
+pub struct IterProgram {
+    ops: Box<dyn Iterator<Item = Op>>,
+    sum: u64,
+    values_seen: u64,
+    units: u64,
+    unit_marker: Option<fn(&Op) -> bool>,
+}
+
+impl std::fmt::Debug for IterProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IterProgram")
+            .field("sum", &self.sum)
+            .field("values_seen", &self.values_seen)
+            .field("units", &self.units)
+            .finish_non_exhaustive()
+    }
+}
+
+impl IterProgram {
+    /// Wraps a lazy op stream.
+    pub fn new(ops: Box<dyn Iterator<Item = Op>>) -> Self {
+        IterProgram { ops, sum: 0, values_seen: 0, units: 0, unit_marker: None }
+    }
+
+    /// Wraps a lazy op stream, counting one unit of progress whenever
+    /// `marker` matches an emitted op (e.g. the last op of each
+    /// transaction).
+    pub fn with_unit_marker(ops: Box<dyn Iterator<Item = Op>>, marker: fn(&Op) -> bool) -> Self {
+        IterProgram { ops, sum: 0, values_seen: 0, units: 0, unit_marker: Some(marker) }
+    }
+
+    /// Number of load values observed.
+    pub fn values_seen(&self) -> u64 {
+        self.values_seen
+    }
+}
+
+impl Program for IterProgram {
+    fn next_op(&mut self) -> Option<Op> {
+        let op = self.ops.next()?;
+        if let Some(m) = self.unit_marker {
+            if m(&op) {
+                self.units += 1;
+            }
+        }
+        Some(op)
+    }
+
+    fn on_load_value(&mut self, value: u64) {
+        self.sum = self.sum.wrapping_add(value);
+        self.values_seen += 1;
+    }
+
+    fn progress(&self) -> u64 {
+        self.units
+    }
+
+    fn result(&self) -> u64 {
+        self.sum
+    }
+}
+
+/// A tiny splittable xorshift generator so workloads are deterministic
+/// without threading a `rand` RNG through boxed iterators.
+#[derive(Debug, Clone)]
+pub struct SplitMix(pub u64);
+
+impl SplitMix {
+    /// The next pseudo-random 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A value in `0..bound`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsdram_core::PatternId;
+
+    #[test]
+    fn iter_program_streams_and_sums() {
+        let ops = vec![Op::Compute(1), Op::Load { pc: 0, addr: 0, pattern: PatternId(0) }];
+        let mut p = IterProgram::new(Box::new(ops.into_iter()));
+        assert!(p.next_op().is_some());
+        p.on_load_value(5);
+        p.on_load_value(7);
+        assert_eq!(p.result(), 12);
+        assert_eq!(p.values_seen(), 2);
+    }
+
+    #[test]
+    fn unit_marker_counts_progress() {
+        let ops: Vec<Op> = (0..10).map(|_| Op::Compute(1)).collect();
+        let mut p = IterProgram::with_unit_marker(Box::new(ops.into_iter()), |op| {
+            matches!(op, Op::Compute(_))
+        });
+        while p.next_op().is_some() {}
+        assert_eq!(p.progress(), 10);
+    }
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix(42);
+        let mut b = SplitMix(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix(1);
+        for _ in 0..100 {
+            assert!(c.below(10) < 10);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Integration tests for the §4.1 coherence rules across the whole
+//! stack: overlapping pattern-tagged lines, multi-core sharing, and the
+//! two-patterns-per-page restriction.
+
+use gsdram::core::PatternId;
+use gsdram::system::config::SystemConfig;
+use gsdram::system::machine::{Machine, StopWhen};
+use gsdram::system::ops::{Op, Program, ScriptedProgram};
+
+fn machine(cores: usize) -> Machine {
+    Machine::new(SystemConfig::table1(cores, 8 << 20))
+}
+
+fn run_one(m: &mut Machine, p: &mut ScriptedProgram) -> gsdram::system::RunReport {
+    let mut programs: Vec<&mut dyn Program> = vec![p];
+    m.run(&mut programs, StopWhen::AllDone)
+}
+
+/// Interleaved pattern-0 stores and pattern-7 loads over the same data:
+/// every gathered load must see the latest store.
+#[test]
+fn write_read_interleaving_across_patterns() {
+    let mut m = machine(1);
+    let base = m.pattmalloc(64 * 64, true, PatternId(7));
+    let mut ops = Vec::new();
+    for round in 0..4u64 {
+        for t in 0..8u64 {
+            ops.push(Op::Store {
+                pc: 1,
+                addr: base + t * 64, // field 0 of tuple t
+                pattern: PatternId(0),
+                value: round * 100 + t,
+            });
+            // Gathered read of field 0 of tuples 0..8, word t.
+            ops.push(Op::Load { pc: 2, addr: base + 8 * t, pattern: PatternId(7) });
+        }
+    }
+    let mut p = ScriptedProgram::new(ops);
+    run_one(&mut m, &mut p);
+    let want: Vec<u64> = (0..4)
+        .flat_map(|round| (0..8).map(move |t| round * 100 + t))
+        .collect();
+    assert_eq!(p.loaded_values(), &want[..]);
+}
+
+/// Dirty gathered lines must be flushed before a default-pattern fetch
+/// of overlapping data (§4.1 rule 1).
+#[test]
+fn dirty_gathered_line_flushed_before_tuple_fetch() {
+    let mut m = machine(1);
+    let base = m.pattmalloc(64 * 64, true, PatternId(7));
+    let mut ops = Vec::new();
+    // pattstore field 0 of tuples 0..8 (dirty pattern-7 line).
+    for k in 0..8u64 {
+        ops.push(Op::Store { pc: 1, addr: base + 8 * k, pattern: PatternId(7), value: 40 + k });
+    }
+    // Then read each tuple's field 0 through pattern 0.
+    for t in 0..8u64 {
+        ops.push(Op::Load { pc: 2, addr: base + t * 64, pattern: PatternId(0) });
+    }
+    let mut p = ScriptedProgram::new(ops);
+    run_one(&mut m, &mut p);
+    let want: Vec<u64> = (0..8).map(|k| 40 + k).collect();
+    assert_eq!(p.loaded_values(), &want[..]);
+}
+
+/// A store through one core must invalidate the overlapping gathered
+/// line cached by the *other* core (the read-exclusive piggyback of
+/// §4.1 rule 2).
+#[test]
+fn cross_core_overlap_invalidation() {
+    let mut m = machine(2);
+    let base = m.pattmalloc(64 * 64, true, PatternId(7));
+    for t in 0..8u64 {
+        m.poke(base + t * 64, t); // field 0 of tuple t = t
+    }
+    // Core 1 warms the gathered field-0 line, waits, then re-reads it.
+    let mut p1 = ScriptedProgram::new(vec![
+        Op::Load { pc: 1, addr: base, pattern: PatternId(7) },
+        Op::Compute(20_000),
+        Op::Load { pc: 2, addr: base + 8 * 3, pattern: PatternId(7) }, // word 3
+    ]);
+    // Core 0 meanwhile stores to tuple 3 field 0 through pattern 0.
+    let mut p0 = ScriptedProgram::new(vec![
+        Op::Compute(5_000),
+        Op::Store { pc: 3, addr: base + 3 * 64, pattern: PatternId(0), value: 999 },
+    ]);
+    {
+        let mut programs: Vec<&mut dyn Program> = vec![&mut p0, &mut p1];
+        m.run(&mut programs, StopWhen::AllDone);
+    }
+    assert_eq!(p1.loaded_values()[0], 0, "warm-up read");
+    assert_eq!(p1.loaded_values()[1], 999, "must observe the remote store");
+}
+
+/// The same address under different patterns occupies distinct cache
+/// lines and both stay readable (pattern-extended tags, §4.1).
+#[test]
+fn pattern_tagged_lines_coexist() {
+    let mut m = machine(1);
+    let base = m.pattmalloc(64 * 64, true, PatternId(7));
+    for t in 0..8u64 {
+        for f in 0..8u64 {
+            m.poke(base + t * 64 + f * 8, t * 10 + f);
+        }
+    }
+    let mut p = ScriptedProgram::new(vec![
+        Op::Load { pc: 1, addr: base, pattern: PatternId(0) }, // tuple 0, field 0
+        Op::Load { pc: 2, addr: base, pattern: PatternId(7) }, // field 0, tuple 0
+        Op::Load { pc: 3, addr: base + 8, pattern: PatternId(0) }, // tuple 0, field 1
+        Op::Load { pc: 4, addr: base + 8, pattern: PatternId(7) }, // field 0, tuple 1
+    ]);
+    let r = run_one(&mut m, &mut p);
+    assert_eq!(p.loaded_values(), &[0, 0, 1, 10]);
+    // Two fetches (one per pattern), two hits.
+    assert_eq!(r.dram.reads, 2);
+    assert_eq!(r.l1[0].hits, 2);
+}
+
+/// Pages allocated without pattmalloc reject non-default patterns.
+#[test]
+#[should_panic(expected = "not allowed")]
+fn plain_pages_reject_pattern_loads() {
+    let mut m = machine(1);
+    let base = m.malloc(4096);
+    let mut p = ScriptedProgram::new(vec![Op::Load {
+        pc: 1,
+        addr: base,
+        pattern: PatternId(7),
+    }]);
+    run_one(&mut m, &mut p);
+}
+
+/// Pattern loads must also be rejected when the page's alternate
+/// pattern differs.
+#[test]
+#[should_panic(expected = "not allowed")]
+fn wrong_alternate_pattern_faults() {
+    let mut m = machine(1);
+    let base = m.pattmalloc(4096, true, PatternId(1));
+    let mut p = ScriptedProgram::new(vec![Op::Load {
+        pc: 1,
+        addr: base,
+        pattern: PatternId(7),
+    }]);
+    run_one(&mut m, &mut p);
+}
+
+/// Repeated store/load cycles across patterns leave memory in the
+/// exact expected state after draining the caches.
+#[test]
+fn drained_memory_matches_program_history() {
+    let mut m = machine(1);
+    let base = m.pattmalloc(64 * 64, true, PatternId(7));
+    let mut ops = Vec::new();
+    // Alternate: scatter via pattern 7, overwrite one via pattern 0.
+    for k in 0..8u64 {
+        ops.push(Op::Store { pc: 1, addr: base + 8 * k, pattern: PatternId(7), value: 70 + k });
+    }
+    ops.push(Op::Store { pc: 2, addr: base + 5 * 64, pattern: PatternId(0), value: 1234 });
+    let mut p = ScriptedProgram::new(ops);
+    run_one(&mut m, &mut p);
+    m.drain_caches();
+    for t in 0..8u64 {
+        let want = if t == 5 { 1234 } else { 70 + t };
+        assert_eq!(m.peek(base + t * 64), want, "tuple {t} field 0");
+    }
+}

@@ -1,0 +1,111 @@
+//! Cross-configuration integration tests: functional results must be
+//! invariant across ranks, channels, schedulers and row policies —
+//! those knobs change *timing*, never *data*.
+
+use gsdram::dram::controller::{RowPolicy, SchedPolicy};
+use gsdram::system::config::SystemConfig;
+use gsdram::system::machine::{Machine, StopWhen};
+use gsdram::system::ops::Program;
+use gsdram::system::trace::{TraceRecorder, TraceReplayer};
+use gsdram::workloads::imdb::{analytics, transactions, Layout, Table, TxnSpec};
+use std::io::BufReader;
+
+fn run_config(cfg: SystemConfig) -> (u64, u64) {
+    let mut m = Machine::new(cfg);
+    let table = Table::create(&mut m, Layout::GsDram, 4096);
+    let mut p = analytics(table, &[0, 3]);
+    let r = {
+        let mut programs: Vec<&mut dyn Program> = vec![&mut p];
+        m.run(&mut programs, StopWhen::AllDone)
+    };
+    let want = table.expected_column_sum(0) + table.expected_column_sum(3);
+    (r.results[0], want)
+}
+
+#[test]
+fn results_invariant_across_memory_configurations() {
+    let base = || SystemConfig::table1(1, 8 << 20);
+    let mut sums = Vec::new();
+    for cfg in [
+        base(),
+        base().with_prefetch(),
+        base().with_ranks(2),
+        base().with_channels(2),
+        base().with_channels(4).with_ranks(2),
+        {
+            let mut c = base();
+            c.controller.policy = SchedPolicy::Fcfs;
+            c
+        },
+        {
+            let mut c = base();
+            c.controller.row_policy = RowPolicy::Closed;
+            c
+        },
+    ] {
+        let (got, want) = run_config(cfg);
+        assert_eq!(got, want);
+        sums.push(got);
+    }
+    assert!(sums.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn transactions_deterministic_across_ranks() {
+    // Same seed, different rank count: identical committed state.
+    let run = |ranks: usize| {
+        let mut m = Machine::new(SystemConfig::table1(1, 8 << 20).with_ranks(ranks));
+        let table = Table::create(&mut m, Layout::GsDram, 2048);
+        let spec = TxnSpec { read_only: 1, write_only: 2, read_write: 1 };
+        let mut p = transactions(table, spec, 300, 99);
+        {
+            let mut programs: Vec<&mut dyn Program> = vec![&mut p];
+            m.run(&mut programs, StopWhen::AllDone);
+        }
+        m.drain_caches();
+        let image: Vec<u64> = (0..2048u64)
+            .flat_map(|t| (0..8).map(move |f| (t, f)))
+            .map(|(t, f)| m.peek(table.field_addr(t, f)))
+            .collect();
+        image
+    };
+    assert_eq!(run(1), run(2));
+}
+
+#[test]
+fn workload_trace_round_trips_through_a_real_run() {
+    // Record a transaction run, replay it on a fresh identical machine:
+    // cycle counts, DRAM traffic and final memory all match.
+    let build = || {
+        let mut m = Machine::new(SystemConfig::table1(1, 8 << 20));
+        let table = Table::create(&mut m, Layout::GsDram, 2048);
+        (m, table)
+    };
+    let (mut m1, table1) = build();
+    let spec = TxnSpec { read_only: 2, write_only: 1, read_write: 0 };
+    let inner = transactions(table1, spec, 200, 7);
+    let mut rec = TraceRecorder::new(inner, Vec::new());
+    let r1 = {
+        let mut programs: Vec<&mut dyn Program> = vec![&mut rec];
+        m1.run(&mut programs, StopWhen::AllDone)
+    };
+    let (_, trace) = rec.into_parts();
+
+    let (mut m2, _table2) = build();
+    let mut rep = TraceReplayer::new(BufReader::new(&trace[..]));
+    let r2 = {
+        let mut programs: Vec<&mut dyn Program> = vec![&mut rep];
+        m2.run(&mut programs, StopWhen::AllDone)
+    };
+    assert_eq!(r1.cpu_cycles, r2.cpu_cycles);
+    assert_eq!(r1.dram.reads, r2.dram.reads);
+    assert_eq!(r1.dram.writes, r2.dram.writes);
+    m1.drain_caches();
+    m2.drain_caches();
+    for t in 0..2048u64 {
+        for f in 0..8 {
+            let a = table1.field_addr(t, f);
+            assert_eq!(m1.peek(a), m2.peek(a), "tuple {t} field {f}");
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Cross-crate integration tests: the full stack (workload → machine →
+//! caches → controller → GS-DRAM module) must be functionally exact.
+
+use gsdram::core::PatternId;
+use gsdram::system::config::SystemConfig;
+use gsdram::system::machine::{Machine, StopWhen};
+use gsdram::system::ops::{Op, Program, ScriptedProgram};
+use gsdram::workloads::imdb::{analytics, transactions, Layout, Table, TxnSpec};
+
+fn machine(cores: usize) -> Machine {
+    Machine::new(SystemConfig::table1(cores, 16 << 20))
+}
+
+fn run_one(m: &mut Machine, p: &mut dyn Program) -> gsdram::system::RunReport {
+    let mut programs: Vec<&mut dyn Program> = vec![p];
+    m.run(&mut programs, StopWhen::AllDone)
+}
+
+#[test]
+fn column_sums_identical_across_all_layouts_and_columns() {
+    let mut sums = Vec::new();
+    for layout in Layout::ALL {
+        let mut m = machine(1);
+        let table = Table::create(&mut m, layout, 2048);
+        let mut per_layout = Vec::new();
+        for f in 0..8 {
+            let mut p = analytics(table, &[f]);
+            let r = run_one(&mut m, &mut p);
+            assert_eq!(r.results[0], table.expected_column_sum(f), "{} f{f}", layout.label());
+            per_layout.push(r.results[0]);
+        }
+        sums.push(per_layout);
+    }
+    assert_eq!(sums[0], sums[1]);
+    assert_eq!(sums[0], sums[2]);
+}
+
+#[test]
+fn multi_column_analytics_sum() {
+    for layout in Layout::ALL {
+        let mut m = machine(1);
+        let table = Table::create(&mut m, layout, 1024);
+        let mut p = analytics(table, &[1, 4, 6]);
+        let r = run_one(&mut m, &mut p);
+        let want = table.expected_column_sum(1)
+            + table.expected_column_sum(4)
+            + table.expected_column_sum(6);
+        assert_eq!(r.results[0], want, "{}", layout.label());
+    }
+}
+
+#[test]
+fn transactions_then_analytics_sees_updates() {
+    // Run write transactions, then a full-column scan: the gathered
+    // analytics must observe every committed write (GS-DRAM layout —
+    // the cross-pattern coherence path).
+    let mut m = machine(1);
+    let table = Table::create(&mut m, Layout::GsDram, 512);
+    // Deterministic writes: set field 0 of tuple t to 7.
+    let ops: Vec<Op> = (0..512u64)
+        .map(|t| Op::Store {
+            pc: 1,
+            addr: table.field_addr(t, 0),
+            pattern: PatternId(0),
+            value: 7,
+        })
+        .collect();
+    let mut writer = ScriptedProgram::new(ops);
+    run_one(&mut m, &mut writer);
+    let mut p = analytics(table, &[0]);
+    let r = run_one(&mut m, &mut p);
+    assert_eq!(r.results[0], 512 * 7);
+}
+
+#[test]
+fn gathered_writes_visible_to_tuple_reads() {
+    // The reverse direction: pattstore through pattern 7, then read
+    // tuples with pattern 0.
+    let mut m = machine(1);
+    let table = Table::create(&mut m, Layout::GsDram, 64);
+    let mut ops = Vec::new();
+    for grp in 0..8u64 {
+        for k in 0..8u64 {
+            // field 2 of tuple 8*grp + k := 1000 + tuple index
+            ops.push(Op::Store {
+                pc: 1,
+                addr: table.base + (8 * grp + 2) * 64 + 8 * k,
+                pattern: PatternId(7),
+                value: 1000 + 8 * grp + k,
+            });
+        }
+    }
+    for t in 0..64u64 {
+        ops.push(Op::Load { pc: 2, addr: table.field_addr(t, 2), pattern: PatternId(0) });
+    }
+    let mut p = ScriptedProgram::new(ops);
+    run_one(&mut m, &mut p);
+    let want: Vec<u64> = (0..64).map(|t| 1000 + t).collect();
+    assert_eq!(p.loaded_values(), &want[..]);
+}
+
+#[test]
+fn transaction_workload_is_deterministic() {
+    let run = || {
+        let mut m = machine(1);
+        let table = Table::create(&mut m, Layout::RowStore, 4096);
+        let spec = TxnSpec { read_only: 2, write_only: 1, read_write: 1 };
+        let mut p = transactions(table, spec, 300, 77);
+        let r = run_one(&mut m, &mut p);
+        (r.cpu_cycles, r.results[0], r.dram.reads)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn report_energy_is_consistent() {
+    let mut m = machine(1);
+    let table = Table::create(&mut m, Layout::RowStore, 4096);
+    let mut p = analytics(table, &[0]);
+    let r = run_one(&mut m, &mut p);
+    let e = r.energy;
+    assert!(e.cpu_static_mj > 0.0);
+    assert!(e.dram_mj > 0.0);
+    assert!(
+        (e.total_mj() - (e.cpu_static_mj + e.cpu_dynamic_mj + e.cache_mj + e.dram_mj)).abs()
+            < 1e-12
+    );
+    // DRAM energy breakdown matches the controller's meter.
+    assert!((r.dram_energy.total_mj() - e.dram_mj).abs() < 1e-12);
+}
+
+#[test]
+fn gsdram_transaction_overhead_is_negligible() {
+    // §5.1: GS-DRAM performs as well as the row store for transactions.
+    let run = |layout| {
+        let mut m = machine(1);
+        let table = Table::create(&mut m, layout, 8192);
+        let spec = TxnSpec { read_only: 5, write_only: 0, read_write: 1 };
+        let mut p = transactions(table, spec, 400, 5);
+        run_one(&mut m, &mut p).cpu_cycles
+    };
+    let row = run(Layout::RowStore) as f64;
+    let gs = run(Layout::GsDram) as f64;
+    assert!((gs / row - 1.0).abs() < 0.05, "gs {gs} row {row}");
+}
+
+#[test]
+fn htap_runs_both_cores_and_stops_with_analytics() {
+    let mut m = machine(2);
+    let table = Table::create(&mut m, Layout::GsDram, 4096);
+    let mut anal = analytics(table, &[0]);
+    let spec = TxnSpec { read_only: 1, write_only: 1, read_write: 0 };
+    let mut txn = transactions(table, spec, u64::MAX, 3);
+    let r = {
+        let mut programs: Vec<&mut dyn Program> = vec![&mut anal, &mut txn];
+        m.run(&mut programs, StopWhen::CoreDone(0))
+    };
+    assert!(r.progress[1] > 0, "transaction thread must make progress");
+    assert!(r.cpu_cycles > 0);
+}
