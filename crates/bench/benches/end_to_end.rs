@@ -1,65 +1,58 @@
-//! Criterion benchmarks for end-to-end machine runs: small instances of
+//! Micro-benchmarks for end-to-end machine runs: small instances of
 //! each paper experiment, so regressions anywhere in the stack
 //! (workload generation, caches, coherence, DRAM timing) are caught as
 //! wall-clock changes.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gsdram_bench::micro::{black_box, Runner};
 use gsdram_bench::{run_single, table1_machine};
 use gsdram_workloads::gemm::{program, Gemm, GemmVariant};
 use gsdram_workloads::imdb::{analytics, transactions, Layout, Table, TxnSpec};
 
-fn bench_transactions(c: &mut Criterion) {
-    let mut group = c.benchmark_group("imdb_transactions");
-    group.sample_size(10);
+fn bench_transactions(r: &Runner) {
     for layout in Layout::ALL {
-        group.bench_function(layout.label(), |b| {
-            b.iter(|| {
-                let mut m = table1_machine(1, 8 << 20, false);
-                let table = Table::create(&mut m, layout, 16 * 1024);
-                let spec = TxnSpec { read_only: 1, write_only: 1, read_write: 0 };
-                let mut p = transactions(table, spec, 500, 42);
-                black_box(run_single(&mut m, &mut p).cpu_cycles)
-            });
+        r.bench(&format!("imdb_transactions {}", layout.label()), || {
+            let mut m = table1_machine(1, 8 << 20, false);
+            let table = Table::create(&mut m, layout, 16 * 1024);
+            let spec = TxnSpec {
+                read_only: 1,
+                write_only: 1,
+                read_write: 0,
+            };
+            let mut p = transactions(table, spec, 500, 42);
+            black_box(run_single(&mut m, &mut p).cpu_cycles);
         });
     }
-    group.finish();
 }
 
-fn bench_analytics(c: &mut Criterion) {
-    let mut group = c.benchmark_group("imdb_analytics");
-    group.sample_size(10);
+fn bench_analytics(r: &Runner) {
     for layout in Layout::ALL {
-        group.bench_function(layout.label(), |b| {
-            b.iter(|| {
-                let mut m = table1_machine(1, 8 << 20, true);
-                let table = Table::create(&mut m, layout, 16 * 1024);
-                let mut p = analytics(table, &[0]);
-                black_box(run_single(&mut m, &mut p).cpu_cycles)
-            });
+        r.bench(&format!("imdb_analytics {}", layout.label()), || {
+            let mut m = table1_machine(1, 8 << 20, true);
+            let table = Table::create(&mut m, layout, 16 * 1024);
+            let mut p = analytics(table, &[0]);
+            black_box(run_single(&mut m, &mut p).cpu_cycles);
         });
     }
-    group.finish();
 }
 
-fn bench_gemm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gemm_64");
-    group.sample_size(10);
+fn bench_gemm(r: &Runner) {
     for variant in [
         GemmVariant::TiledSimd { tile: 32 },
         GemmVariant::GsDram { tile: 32 },
     ] {
-        group.bench_function(variant.label(), |b| {
-            b.iter(|| {
-                let mut m = table1_machine(1, 16 << 20, false);
-                let g = Gemm::create(&mut m, 64, variant);
-                g.init(&mut m);
-                let (mut p, _) = program(g, None);
-                black_box(run_single(&mut m, &mut p).cpu_cycles)
-            });
+        r.bench(&format!("gemm_64 {}", variant.label()), || {
+            let mut m = table1_machine(1, 16 << 20, false);
+            let g = Gemm::create(&mut m, 64, variant);
+            g.init(&mut m);
+            let (mut p, _) = program(g, None);
+            black_box(run_single(&mut m, &mut p).cpu_cycles);
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_transactions, bench_analytics, bench_gemm);
-criterion_main!(benches);
+fn main() {
+    let r = Runner::from_env();
+    bench_transactions(&r);
+    bench_analytics(&r);
+    bench_gemm(&r);
+}

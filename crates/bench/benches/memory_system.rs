@@ -1,128 +1,119 @@
-//! Criterion benchmarks for the memory-system substrates: cache probes
-//! and fills, overlap computation, the stride prefetcher, and the
-//! FR-FCFS DRAM controller servicing request streams.
+//! Micro-benchmarks for the memory-system substrates: cache probes and
+//! fills, overlap computation, the stride prefetcher, and the FR-FCFS
+//! DRAM controller servicing request streams.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gsdram_bench::micro::{black_box, Runner};
 use gsdram_cache::cache::{CacheConfig, LineKey, SetAssocCache};
-use gsdram_cache::overlap::OverlapCalc;
 use gsdram_cache::dbi::DirtyBlockIndex;
+use gsdram_cache::overlap::OverlapCalc;
 use gsdram_cache::prefetch::StridePrefetcher;
 use gsdram_cache::sectored::SectoredCache;
 use gsdram_core::{GsDramConfig, PatternId};
 use gsdram_dram::controller::{AccessKind, ControllerConfig, MemController, MemRequest};
 use gsdram_dram::mapping::AddressMap;
 
-fn bench_cache(c: &mut Criterion) {
+fn bench_cache(r: &Runner) {
     let mut l1 = SetAssocCache::new(CacheConfig::l1_32k());
     for i in 0..512u64 {
         l1.fill(LineKey::new(i * 64, 64, PatternId(0)), vec![i; 8]);
     }
-    c.bench_function("l1 probe hit", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 1) & 511;
-            black_box(l1.probe(LineKey::new(i * 64, 64, PatternId(0)), false));
-        });
+    let mut i = 0u64;
+    r.bench("l1 probe hit", || {
+        i = (i + 1) & 511;
+        black_box(l1.probe(LineKey::new(i * 64, 64, PatternId(0)), false));
     });
-    // The counter lives outside the bench closure: criterion re-invokes
-    // it across warm-up and sample batches, and fill() asserts keys are
-    // fresh.
+    // fill() asserts keys are fresh, so the counter keeps climbing
+    // across calibration rounds.
     let mut i = 512u64;
-    c.bench_function("l1 fill+evict", move |b| {
-        b.iter(|| {
-            i += 1;
-            black_box(l1.fill(LineKey::new(i * 64, 64, PatternId(0)), vec![0; 8]));
-        });
+    r.bench("l1 fill+evict", || {
+        i += 1;
+        black_box(l1.fill(LineKey::new(i * 64, 64, PatternId(0)), vec![0; 8]));
     });
 }
 
-fn bench_overlap(c: &mut Criterion) {
+fn bench_overlap(r: &Runner) {
     let calc = OverlapCalc::new(GsDramConfig::gs_dram_8_3_3(), 64, 128);
-    c.bench_function("overlapping_lines tuple->fields", |b| {
-        let mut col = 0u64;
-        b.iter(|| {
-            col = (col + 1) & 127;
-            let key = LineKey { addr: col * 64, pattern: PatternId(0) };
-            black_box(calc.overlapping_lines(key, PatternId(7), true));
-        });
+    let mut col = 0u64;
+    r.bench("overlapping_lines tuple->fields", || {
+        col = (col + 1) & 127;
+        let key = LineKey {
+            addr: col * 64,
+            pattern: PatternId(0),
+        };
+        black_box(calc.overlapping_lines(key, PatternId(7), true));
     });
 }
 
-fn bench_prefetcher(c: &mut Criterion) {
-    c.bench_function("stride prefetcher observe", |b| {
-        let mut p = StridePrefetcher::degree4();
-        let mut addr = 0u64;
-        b.iter(|| {
-            addr += 64;
-            black_box(p.observe(0x400, addr));
-        });
+fn bench_prefetcher(r: &Runner) {
+    let mut p = StridePrefetcher::degree4();
+    let mut addr = 0u64;
+    r.bench("stride prefetcher observe", || {
+        addr += 64;
+        black_box(p.observe(0x400, addr));
     });
 }
 
-fn bench_dbi(c: &mut Criterion) {
+fn bench_dbi(r: &Runner) {
     let mut dbi = DirtyBlockIndex::table1();
     for i in 0..256u64 {
         dbi.mark_dirty(LineKey::new(i * 64 * 17 % (1 << 20), 64, PatternId(0)));
     }
-    c.bench_function("dbi row_has_dirty", |b| {
-        let mut a = 0u64;
-        b.iter(|| {
-            a = (a + 8192) % (1 << 20);
-            black_box(dbi.row_has_dirty(a, PatternId(0)));
-        });
+    let mut a = 0u64;
+    r.bench("dbi row_has_dirty", || {
+        a = (a + 8192) % (1 << 20);
+        black_box(dbi.row_has_dirty(a, PatternId(0)));
     });
 }
 
-fn bench_sectored(c: &mut Criterion) {
+fn bench_sectored(r: &Runner) {
     let mut sc = SectoredCache::new(CacheConfig::l1_32k());
-    c.bench_function("sectored fill+probe", |b| {
-        let mut a = 0u64;
-        b.iter(|| {
-            a += 72;
-            if !sc.probe(a, false) {
-                black_box(sc.fill_sector(a, a));
-            }
-        });
+    let mut a = 0u64;
+    r.bench("sectored fill+probe", || {
+        a += 72;
+        if !sc.probe(a, false) {
+            black_box(sc.fill_sector(a, a));
+        }
     });
 }
 
-fn bench_planner(c: &mut Criterion) {
-    let cfg = gsdram_core::GsDramConfig::gs_dram_8_3_3();
-    c.bench_function("plan_stride stride 3 x64", |b| {
-        b.iter(|| black_box(gsdram_core::plan::plan_stride(&cfg, 128, 0, 3, 64)));
+fn bench_planner(r: &Runner) {
+    let cfg = GsDramConfig::gs_dram_8_3_3();
+    r.bench("plan_stride stride 3 x64", || {
+        black_box(gsdram_core::plan::plan_stride(&cfg, 128, 0, 3, 64));
     });
 }
 
-fn bench_controller(c: &mut Criterion) {
+fn bench_controller(r: &Runner) {
     let map = AddressMap::table1();
-    c.bench_function("controller 64-request stream", |b| {
-        b.iter(|| {
-            let mut mc = MemController::new(ControllerConfig::default());
-            for i in 0..64u64 {
-                mc.enqueue(
-                    MemRequest {
-                        id: i,
-                        loc: map.decompose(i * 64 * 131),
-                        pattern: PatternId(0),
-                        kind: if i % 4 == 0 { AccessKind::Write } else { AccessKind::Read },
+    r.bench("controller 64-request stream", || {
+        let mut mc = MemController::new(ControllerConfig::default());
+        for i in 0..64u64 {
+            mc.enqueue(
+                MemRequest {
+                    id: i,
+                    loc: map.decompose(i * 64 * 131),
+                    pattern: PatternId(0),
+                    kind: if i % 4 == 0 {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
                     },
-                    i,
-                );
-            }
-            let end = mc.drain();
-            black_box(mc.take_completions(end));
-        });
+                },
+                i,
+            );
+        }
+        let end = mc.drain();
+        black_box(mc.take_completions(end));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_cache,
-    bench_overlap,
-    bench_prefetcher,
-    bench_dbi,
-    bench_sectored,
-    bench_planner,
-    bench_controller
-);
-criterion_main!(benches);
+fn main() {
+    let r = Runner::from_env();
+    bench_cache(&r);
+    bench_overlap(&r);
+    bench_prefetcher(&r);
+    bench_dbi(&r);
+    bench_sectored(&r);
+    bench_planner(&r);
+    bench_controller(&r);
+}

@@ -1,53 +1,45 @@
-//! Criterion micro-benchmarks for the GS-DRAM substrate primitives:
-//! the shuffle network, the column translation logic and functional
-//! module gathers. These quantify the §3.6 "ease of implementation"
-//! claim — the added datapath is a handful of gate delays, so the
-//! software model should be nanoseconds per operation.
+//! Micro-benchmarks for the GS-DRAM substrate primitives: the shuffle
+//! network, the column translation logic and functional module gathers.
+//! These quantify the §3.6 "ease of implementation" claim — the added
+//! datapath is a handful of gate delays, so the software model should
+//! be nanoseconds per operation.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gsdram_bench::micro::{black_box, Runner};
 use gsdram_core::ctl::{ctl_bank, CommandKind};
 use gsdram_core::shuffle::shuffle_line;
-use gsdram_core::{
-    gather_slots, ColumnId, Geometry, GsDramConfig, GsModule, PatternId, RowId,
-};
+use gsdram_core::{gather_slots, ColumnId, Geometry, GsDramConfig, GsModule, PatternId, RowId};
 
-fn bench_shuffle(c: &mut Criterion) {
-    c.bench_function("shuffle_line 8 words", |b| {
-        let mut line: Vec<u64> = (0..8).collect();
-        let mut control = 0u8;
-        b.iter(|| {
-            control = control.wrapping_add(1) & 7;
-            shuffle_line(black_box(&mut line), 3, control);
-        });
+fn bench_shuffle(r: &Runner) {
+    let mut line: Vec<u64> = (0..8).collect();
+    let mut control = 0u8;
+    r.bench("shuffle_line 8 words", || {
+        control = control.wrapping_add(1) & 7;
+        shuffle_line(black_box(&mut line), 3, control);
     });
 }
 
-fn bench_ctl(c: &mut Criterion) {
+fn bench_ctl(r: &Runner) {
     let cfg = GsDramConfig::gs_dram_8_3_3();
     let bank = ctl_bank(&cfg);
-    c.bench_function("ctl translate 8 chips", |b| {
-        let mut col = 0u32;
-        b.iter(|| {
-            col = (col + 1) & 127;
-            for ctl in &bank {
-                black_box(ctl.translate(CommandKind::Read, PatternId(7), ColumnId(col)));
-            }
-        });
+    let mut col = 0u32;
+    r.bench("ctl translate 8 chips", || {
+        col = (col + 1) & 127;
+        for ctl in &bank {
+            black_box(ctl.translate(CommandKind::Read, PatternId(7), ColumnId(col)));
+        }
     });
 }
 
-fn bench_gather_slots(c: &mut Criterion) {
+fn bench_gather_slots(r: &Runner) {
     let cfg = GsDramConfig::gs_dram_8_3_3();
-    c.bench_function("gather_slots pattern 7", |b| {
-        let mut col = 0u32;
-        b.iter(|| {
-            col = (col + 1) & 127;
-            black_box(gather_slots(&cfg, PatternId(7), ColumnId(col), true));
-        });
+    let mut col = 0u32;
+    r.bench("gather_slots pattern 7", || {
+        col = (col + 1) & 127;
+        black_box(gather_slots(&cfg, PatternId(7), ColumnId(col), true));
     });
 }
 
-fn bench_module(c: &mut Criterion) {
+fn bench_module(r: &Runner) {
     let cfg = GsDramConfig::gs_dram_8_3_3();
     let geom = Geometry::ddr3_row(&cfg, 4).expect("valid");
     let mut m = GsModule::new(cfg, geom);
@@ -56,18 +48,22 @@ fn bench_module(c: &mut Criterion) {
         m.write_line(RowId(0), ColumnId(col), PatternId(0), true, &line)
             .expect("in range");
     }
-    let mut group = c.benchmark_group("module");
     for p in [0u8, 1, 7] {
-        group.bench_function(format!("read_line pattern {p}"), |b| {
-            let mut col = 0u32;
-            b.iter(|| {
-                col = (col + 1) & 127;
-                black_box(m.read_line(RowId(0), ColumnId(col), PatternId(p), true).unwrap());
-            });
+        let mut col = 0u32;
+        r.bench(&format!("module read_line pattern {p}"), || {
+            col = (col + 1) & 127;
+            black_box(
+                m.read_line(RowId(0), ColumnId(col), PatternId(p), true)
+                    .unwrap(),
+            );
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_shuffle, bench_ctl, bench_gather_slots, bench_module);
-criterion_main!(benches);
+fn main() {
+    let r = Runner::from_env();
+    bench_shuffle(&r);
+    bench_ctl(&r);
+    bench_gather_slots(&r);
+    bench_module(&r);
+}

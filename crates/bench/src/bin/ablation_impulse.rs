@@ -1,69 +1,12 @@
-//! Ablation: GS-DRAM vs an Impulse-style memory-controller gather
-//! (paper §7 related work).
+//! Ablation: GS-DRAM vs Impulse controller-side gather
 //!
-//! Impulse [Carter et al., HPCA'99] assembles gathered cache lines at
-//! the memory controller from ordinary reads: the processor-side
-//! benefits (cache utilisation, MC→CPU bandwidth) match GS-DRAM, but
-//! every gathered line still costs one DRAM read per covered line —
-//! §7: with commodity modules "Impulse cannot mitigate the wasted
-//! memory bandwidth consumption between the memory controller and
-//! DRAM". This harness quantifies that difference on the analytics
-//! workload.
+//! Thin wrapper over the `ablation_impulse` registry experiment — all spec
+//! construction and rendering live in `gsdram_bench::experiments`.
+//! Shared flags: `--json <path>` (pretty stats JSON), `--serial`,
+//! `--threads <n>`, `--quiet`, plus the experiment's own knobs.
 //!
-//! Run: `cargo run -rp gsdram-bench --bin ablation_impulse [--tuples 262144]`
+//! Run: `cargo run -rp gsdram-bench --bin ablation_impulse -- --json results/ablation_impulse.json`
 
-use gsdram_bench::{arg_u64, mcycles, print_header, run_single};
-use gsdram_system::config::SystemConfig;
-use gsdram_system::Machine;
-use gsdram_workloads::imdb::{analytics, Layout, Table};
-
-fn main() {
-    let tuples = arg_u64("--tuples", 1 << 18);
-    print_header(
-        "Ablation: in-DRAM translation (GS-DRAM) vs controller-side gather (Impulse)",
-        &format!("analytics: sum of 1 column over {tuples} tuples, with prefetching"),
-    );
-    let mem = (tuples as usize * 64) * 2;
-    println!(
-        "{:<22} {:>12} {:>12} {:>14} {:>12}",
-        "mechanism", "cycles (M)", "DRAM reads", "DRAM en. (mJ)", "row hit %"
-    );
-    for (name, impulse, layout) in [
-        ("Row Store (no gather)", false, Layout::RowStore),
-        ("Impulse gather", true, Layout::GsDram),
-        ("GS-DRAM gather", false, Layout::GsDram),
-    ] {
-        let cfg = SystemConfig::table1(1, mem).with_prefetch();
-        let cfg = if impulse { cfg.with_impulse() } else { cfg };
-        let mut m = Machine::new(cfg);
-        let table = if impulse {
-            // Impulse runs on a commodity (unshuffled) module; the
-            // pattern metadata still marks the page gatherable.
-            let base = m.pattmalloc(tuples * 64, false, gsdram_core::PatternId(7));
-            let t = Table { layout: Layout::GsDram, tuples, base };
-            for tu in 0..tuples {
-                for f in 0..8u64 {
-                    m.poke(t.field_addr(tu, f as usize), tu * 8 + f);
-                }
-            }
-            t
-        } else {
-            Table::create(&mut m, layout, tuples)
-        };
-        let mut p = analytics(table, &[0]);
-        let r = run_single(&mut m, &mut p);
-        assert_eq!(r.results[0], table.expected_column_sum(0), "{name}: wrong sum");
-        println!(
-            "{:<22} {} {:>12} {:>14.2} {:>11.1}%",
-            name,
-            mcycles(r.cpu_cycles),
-            r.dram.reads,
-            r.dram_energy.total_mj(),
-            r.dram.row_hit_rate() * 100.0
-        );
-    }
-    println!("----------------------------------------------------------------");
-    println!("expected: Impulse matches GS-DRAM's cache-line count (CPU side) but");
-    println!("needs ~8x the DRAM reads, so its time and DRAM energy stay close to");
-    println!("the row store; GS-DRAM alone cuts traffic end to end.");
+fn main() -> std::process::ExitCode {
+    gsdram_bench::experiments::cli_main("ablation_impulse")
 }

@@ -1,66 +1,12 @@
-//! Ablation: pattern-ID width (§3.5, §6.2) and intra-chip translation
-//! (§6.3).
+//! Ablation: pattern-ID width, wide patterns, intra-chip translation
 //!
-//! Shows which strides each `GS-DRAM(8,3,p)` can gather in one READ,
-//! how §6.2 wide pattern IDs extend the reach, and the ECC coverage of
-//! §6.3.
+//! Thin wrapper over the `ablation_patterns` registry experiment — all spec
+//! construction and rendering live in `gsdram_bench::experiments`.
+//! Shared flags: `--json <path>` (pretty stats JSON), `--serial`,
+//! `--threads <n>`, `--quiet`, plus the experiment's own knobs.
 //!
-//! Run: `cargo run -rp gsdram-bench --bin ablation_patterns`
+//! Run: `cargo run -rp gsdram-bench --bin ablation_patterns -- --json results/ablation_patterns.json`
 
-use gsdram_core::analysis::stride_label;
-use gsdram_core::mat::{EccGather, IntraChipCtl};
-use gsdram_core::{gathered_elements, ColumnId, GsDramConfig, PatternId};
-
-fn main() {
-    println!("Ablation: expressible patterns vs pattern-ID width, 8-chip module");
-    println!();
-    for p_bits in [1u8, 2, 3] {
-        let cfg = GsDramConfig::new(8, 3, p_bits).expect("valid");
-        let labels: Vec<String> = cfg
-            .patterns()
-            .map(|p| format!("p{}:{}", p.0, stride_label(&cfg, p)))
-            .collect();
-        println!("GS-DRAM(8,3,{p_bits}): {}", labels.join("  "));
-    }
-    println!();
-
-    println!("Wide pattern IDs (§6.2): GS-DRAM(8,3,6), replicated chip IDs");
-    let cfg = GsDramConfig::new(8, 3, 6).expect("valid");
-    for p in [0u8, 7, 0b111_000, 0b111_111] {
-        let e = gathered_elements(&cfg, PatternId(p), ColumnId(0), true);
-        println!("  pattern {p:#08b} -> elements {e:?}");
-    }
-    println!();
-
-    println!("Intra-chip column translation (§6.3): 8 tiles per chip");
-    let intra = IntraChipCtl::new(8, 3).expect("valid");
-    println!(
-        "  gather granularity: {} byte(s) per tile ({} tiles)",
-        intra.bytes_per_tile(),
-        intra.tiles()
-    );
-    let cols: Vec<u32> = intra
-        .tile_columns(PatternId(7), ColumnId(0))
-        .iter()
-        .map(|c| c.0)
-        .collect();
-    println!("  pattern 7, col 0: tile columns {cols:?}");
-
-    let ecc = EccGather::new(8, 3).expect("valid");
-    let mut all_covered = true;
-    for p in 0..8u8 {
-        for c in 0..16u32 {
-            let data: Vec<ColumnId> = gsdram_core::ctl::ctl_bank(&GsDramConfig::gs_dram_8_3_3())
-                .iter()
-                .map(|ctl| {
-                    ctl.translate(gsdram_core::ctl::CommandKind::Read, PatternId(p), ColumnId(c))
-                })
-                .collect();
-            all_covered &= ecc.covers(PatternId(p), ColumnId(c), &data);
-        }
-    }
-    println!(
-        "  ECC chip coverage across all (pattern, column) pairs: {}",
-        if all_covered { "complete" } else { "INCOMPLETE" }
-    );
+fn main() -> std::process::ExitCode {
+    gsdram_bench::experiments::cli_main("ablation_patterns")
 }

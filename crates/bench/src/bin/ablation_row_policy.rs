@@ -1,63 +1,12 @@
-//! Ablation: open-row vs closed-row buffer management.
+//! Ablation: open-row vs closed-row buffer management
 //!
-//! Table 1 specifies the open-row policy; this harness shows why it is
-//! the right choice for the evaluated workloads and how GS-DRAM
-//! interacts with it: streaming analytics thrive on open rows (GS-DRAM
-//! still enjoys 16 hits per row through gathered lines), while random
-//! transactions are close to policy-neutral.
+//! Thin wrapper over the `ablation_row_policy` registry experiment — all spec
+//! construction and rendering live in `gsdram_bench::experiments`.
+//! Shared flags: `--json <path>` (pretty stats JSON), `--serial`,
+//! `--threads <n>`, `--quiet`, plus the experiment's own knobs.
 //!
-//! Run: `cargo run -rp gsdram-bench --bin ablation_row_policy [--tuples 262144]`
+//! Run: `cargo run -rp gsdram-bench --bin ablation_row_policy -- --json results/ablation_row_policy.json`
 
-use gsdram_bench::{arg_u64, mcycles, print_header, run_single};
-use gsdram_dram::controller::RowPolicy;
-use gsdram_system::config::SystemConfig;
-use gsdram_system::Machine;
-use gsdram_workloads::imdb::{analytics, transactions, Layout, Table, TxnSpec};
-
-fn main() {
-    let tuples = arg_u64("--tuples", 1 << 18);
-    print_header(
-        "Ablation: open-row vs closed-row policy",
-        &format!("analytics (1 column) and 2000 transactions over {tuples} tuples"),
-    );
-    let mem = (tuples as usize * 64) * 2;
-    println!(
-        "{:<12} {:<13} {:>14} {:>14} {:>10}",
-        "policy", "mechanism", "analytics (Mc)", "txns (Mc)", "row hit %"
-    );
-    for policy in [RowPolicy::Open, RowPolicy::Closed] {
-        for layout in [Layout::RowStore, Layout::GsDram] {
-            let build = || {
-                let mut cfg = SystemConfig::table1(1, mem);
-                cfg.controller.row_policy = policy;
-                let mut m = Machine::new(cfg);
-                let table = Table::create(&mut m, layout, tuples);
-                (m, table)
-            };
-            let (mut m, table) = build();
-            let mut p = analytics(table, &[0]);
-            let anal = run_single(&mut m, &mut p);
-
-            let (mut m2, table2) = build();
-            let spec = TxnSpec { read_only: 2, write_only: 1, read_write: 0 };
-            let mut p = transactions(table2, spec, 2000, 17);
-            let txn = run_single(&mut m2, &mut p);
-            println!(
-                "{:<12} {:<13} {} {} {:>9.1}%",
-                match policy {
-                    RowPolicy::Open => "open",
-                    RowPolicy::Closed => "closed",
-                },
-                layout.label(),
-                mcycles(anal.cpu_cycles),
-                mcycles(txn.cpu_cycles),
-                anal.dram.row_hit_rate() * 100.0
-            );
-        }
-    }
-    println!("----------------------------------------------------------------");
-    println!("expected: analytics regress badly under closed rows (no hits left");
-    println!("to stream); random transactions shift little (their accesses were");
-    println!("mostly conflicts anyway, and closed rows convert the conflict");
-    println!("precharge into an idle-time one).");
+fn main() -> std::process::ExitCode {
+    gsdram_bench::experiments::cli_main("ablation_row_policy")
 }

@@ -1,58 +1,12 @@
-//! Ablation: FR-FCFS vs FCFS scheduling under the HTAP workload.
+//! Ablation: FR-FCFS vs FCFS under HTAP
 //!
-//! The paper attributes Row Store's poor HTAP transaction throughput to
-//! FR-FCFS prioritising the analytics stream's row hits (§5.1, citing
-//! the memory-performance-hog effect of Moscibroda & Mutlu). Switching
-//! the scheduler to FCFS removes that prioritisation; the Row Store
-//! transaction throughput gap should shrink.
+//! Thin wrapper over the `ablation_scheduler` registry experiment — all spec
+//! construction and rendering live in `gsdram_bench::experiments`.
+//! Shared flags: `--json <path>` (pretty stats JSON), `--serial`,
+//! `--threads <n>`, `--quiet`, plus the experiment's own knobs.
 //!
-//! Run: `cargo run -rp gsdram-bench --bin ablation_scheduler [--tuples 262144]`
+//! Run: `cargo run -rp gsdram-bench --bin ablation_scheduler -- --json results/ablation_scheduler.json`
 
-use gsdram_bench::{arg_u64, mcycles, print_header, run_htap};
-use gsdram_dram::controller::SchedPolicy;
-use gsdram_system::config::SystemConfig;
-use gsdram_system::Machine;
-use gsdram_workloads::imdb::{analytics, transactions, Layout, Table, TxnSpec};
-
-fn main() {
-    let tuples = arg_u64("--tuples", 1 << 18);
-    print_header(
-        "Ablation: FR-FCFS vs FCFS under HTAP",
-        &format!("analytics (1 column, {tuples} tuples) + endless transactions"),
-    );
-    let spec = TxnSpec { read_only: 1, write_only: 1, read_write: 0 };
-    println!(
-        "{:<10} {:<13} {:>14} {:>16}",
-        "scheduler", "mechanism", "analytics (Mc)", "txn thr. (M/s)"
-    );
-    for policy in [SchedPolicy::FrFcfs, SchedPolicy::Fcfs] {
-        for layout in [Layout::RowStore, Layout::GsDram] {
-            // Prefetching keeps several analytics requests queued at the
-            // controller, which is what lets FR-FCFS starve the
-            // transaction thread (the effect is strongest with
-            // prefetching — §5.1).
-            let mut cfg = SystemConfig::table1(2, (tuples as usize * 64) * 2).with_prefetch();
-            cfg.controller.policy = policy;
-            let mut m = Machine::new(cfg);
-            let table = Table::create(&mut m, layout, tuples);
-            let mut anal = analytics(table, &[0]);
-            let mut txn = transactions(table, spec, u64::MAX, 99);
-            let r = run_htap(&mut m, &mut anal, &mut txn);
-            let secs = r.seconds(m.config());
-            println!(
-                "{:<10} {:<13} {:>14} {:>15.2}",
-                match policy {
-                    SchedPolicy::FrFcfs => "FR-FCFS",
-                    SchedPolicy::Fcfs => "FCFS",
-                },
-                layout.label(),
-                mcycles(r.cpu_cycles),
-                r.progress[1] as f64 / secs / 1e6
-            );
-        }
-    }
-    println!("----------------------------------------------------------------");
-    println!("expected: under FCFS the Row Store transaction thread is no longer");
-    println!("starved by the analytics stream's row hits (at some cost to the");
-    println!("analytics scan).");
+fn main() -> std::process::ExitCode {
+    gsdram_bench::experiments::cli_main("ablation_scheduler")
 }

@@ -1,95 +1,12 @@
-//! Ablation: pattern-tagged cache vs the sectored-cache alternative
-//! (paper §4.1).
+//! Ablation: pattern-tagged cache vs sectored cache (S4.1)
 //!
-//! Both designs can hold gathered data; §4.1 rejects sectoring because
-//! (1) a gathered access scatters over `chips` tag entries — wrecking
-//! tag utilisation and making the values unusable by one SIMD load —
-//! and (2) partially-dirty lines force read-modify-write writebacks.
-//! This harness drives both structures with the same gathered-analytics
-//! access stream and measures those effects.
+//! Thin wrapper over the `ablation_sectored` registry experiment — all spec
+//! construction and rendering live in `gsdram_bench::experiments`.
+//! Shared flags: `--json <path>` (pretty stats JSON), `--serial`,
+//! `--threads <n>`, `--quiet`, plus the experiment's own knobs.
 //!
-//! Run: `cargo run -rp gsdram-bench --bin ablation_sectored [--lines 4096]`
+//! Run: `cargo run -rp gsdram-bench --bin ablation_sectored -- --json results/ablation_sectored.json`
 
-use gsdram_bench::{arg_u64, print_header};
-use gsdram_cache::cache::{CacheConfig, LineKey, SetAssocCache};
-use gsdram_cache::overlap::OverlapCalc;
-use gsdram_cache::sectored::SectoredCache;
-use gsdram_core::{GsDramConfig, PatternId};
-
-fn main() {
-    let gathered_lines = arg_u64("--lines", 4096);
-    print_header(
-        "Ablation: pattern-tagged cache vs sectored cache (§4.1)",
-        &format!("field-0 analytics stream: {gathered_lines} stride-8 gathered lines through a 32 KB L1"),
-    );
-    let calc = OverlapCalc::new(GsDramConfig::gs_dram_8_3_3(), 64, 128);
-    let cfg = CacheConfig::l1_32k();
-
-    // Pattern-tagged design: each gathered line is ONE entry.
-    let mut tagged = SetAssocCache::new(cfg);
-    // Sectored design: each gathered word goes to its home line's sector.
-    let mut sectored = SectoredCache::new(cfg);
-    let mut sectored_rmw = 0u64;
-
-    for g in 0..gathered_lines {
-        // Gathered line: field 0 of tuple group g (Figure 8 addressing).
-        let key = LineKey::new(g * 8 * 64, 64, PatternId(7));
-        // Every 4th line is modified after the scan (an update query),
-        // to surface the writeback difference.
-        let write = g % 4 == 0;
-
-        if !tagged.probe(key, write) {
-            tagged.fill(key, vec![0; 8]);
-            if write {
-                tagged.probe(key, true);
-            }
-        }
-
-        for (w, addr) in calc.word_addresses(key, true).into_iter().enumerate() {
-            if !sectored.probe(addr, write && w == 0) {
-                if let Some(ev) = sectored.fill_sector(addr, w as u64) {
-                    if ev.needs_rmw(8) {
-                        sectored_rmw += 1;
-                    }
-                }
-                if write && w == 0 {
-                    sectored.probe(addr, true);
-                }
-            }
-        }
-    }
-
-    let t = tagged.stats();
-    let s = sectored.stats();
-    let (tags, util) = sectored.tag_utilisation();
-    println!("{:<34} {:>14} {:>14}", "metric", "pattern-tagged", "sectored");
-    println!("{:<34} {:>14} {:>14}", "lookups", t.hits + t.misses, s.hits + s.misses);
-    println!(
-        "{:<34} {:>13.1}% {:>13.1}%",
-        "miss rate",
-        t.miss_rate() * 100.0,
-        s.miss_rate() * 100.0
-    );
-    println!(
-        "{:<34} {:>14} {:>14}",
-        "tag entries per gathered line", 1, 8
-    );
-    println!(
-        "{:<34} {:>14} {:>13.1}%",
-        "resident tag utilisation", "100%", util * 100.0
-    );
-    println!("{:<34} {:>14} {:>14}", "resident tag entries", tagged.resident_keys().len(), tags);
-    println!(
-        "{:<34} {:>14} {:>14}",
-        "read-modify-write writebacks", 0, s.partial_writebacks.max(sectored_rmw)
-    );
-    println!(
-        "{:<34} {:>14} {:>14}",
-        "SIMD-loadable gathered lines", "yes", "no"
-    );
-    println!("----------------------------------------------------------------");
-    println!("the sectored design burns 8x the tag entries at ~1/8 utilisation,");
-    println!("turns every dirty gathered word into a read-modify-write at the");
-    println!("DRAM interface, and leaves gathered values spread over 8 physical");
-    println!("lines — unusable by a single SIMD register load (§4.1).");
+fn main() -> std::process::ExitCode {
+    gsdram_bench::experiments::cli_main("ablation_sectored")
 }

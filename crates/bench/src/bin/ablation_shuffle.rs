@@ -1,48 +1,12 @@
-//! Ablation: chip conflicts with and without the §3.2 data shuffle.
+//! Ablation: READ commands per gathered line with/without the shuffle
 //!
-//! Quantifies Challenge 1 (Figure 3): how many READ commands a one-line
-//! strided gather costs under the naive word-i-to-chip-i mapping versus
-//! the column-ID shuffle, plus the §6.1 programmable variants.
+//! Thin wrapper over the `ablation_shuffle` registry experiment — all spec
+//! construction and rendering live in `gsdram_bench::experiments`.
+//! Shared flags: `--json <path>` (pretty stats JSON), `--serial`,
+//! `--threads <n>`, `--quiet`, plus the experiment's own knobs.
 //!
-//! Run: `cargo run -rp gsdram-bench --bin ablation_shuffle`
+//! Run: `cargo run -rp gsdram-bench --bin ablation_shuffle -- --json results/ablation_shuffle.json`
 
-use gsdram_core::analysis::{chip_conflicts, reads_for_stride, MappingScheme};
-use gsdram_core::shuffle::ShuffleFn;
-use gsdram_core::GsDramConfig;
-
-fn main() {
-    println!("Ablation: READ commands per gathered line, GS-DRAM(8,3,3)");
-    println!();
-    println!("{:<10} {:>14} {:>14}", "stride", "naive mapping", "with shuffle");
-    let cfg = GsDramConfig::gs_dram_8_3_3();
-    for stride in [1usize, 2, 4, 8] {
-        println!(
-            "{:<10} {:>14} {:>14}",
-            stride,
-            reads_for_stride(&cfg, MappingScheme::Naive, stride),
-            reads_for_stride(&cfg, MappingScheme::Shuffled, stride)
-        );
-    }
-    println!();
-    println!("Programmable shuffling (§6.1): conflicts for a stride-8 gather");
-    println!("{:<28} {:>10}", "shuffle function", "extra READs");
-    let elements: Vec<usize> = (0..8).map(|i| i * 8).collect();
-    for (name, f) in [
-        ("Identity (disabled)", ShuffleFn::Identity),
-        ("LowBits (default)", ShuffleFn::LowBits),
-        ("Masked mask=0b110", ShuffleFn::Masked { mask: 0b110 }),
-        ("Masked mask=0b011", ShuffleFn::Masked { mask: 0b011 }),
-        ("XorFold groups=2", ShuffleFn::XorFold { groups: 2 }),
-    ] {
-        let cfg = GsDramConfig::with_shuffle_fn(8, 3, 3, f).expect("valid");
-        println!(
-            "{:<28} {:>10}",
-            name,
-            chip_conflicts(&cfg, MappingScheme::Shuffled, &elements)
-        );
-    }
-    println!();
-    println!("paper: the full shuffle gives zero conflicts for every power-of-2");
-    println!("stride; disabling stages reintroduces conflicts for the strides");
-    println!("those stages spread.");
+fn main() -> std::process::ExitCode {
+    gsdram_bench::experiments::cli_main("ablation_shuffle")
 }

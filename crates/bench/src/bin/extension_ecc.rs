@@ -1,76 +1,12 @@
-//! Extension experiment: ECC coverage under gather patterns (§6.3).
+//! Extension: SEC-DED coverage under every gather pattern (S6.3)
 //!
-//! The paper's §6.3 claim is that with intra-chip column translation in
-//! the ECC chip, "accesses with non-zero patterns can gather the data
-//! from the eight data chips and gather the ECC from the eight tiles
-//! within the ECC chip, thereby seamlessly supporting ECC for all
-//! access patterns". This harness injects random single- and double-bit
-//! faults into the module and verifies, per pattern, that gathered
-//! reads correct/detect them exactly as pattern-0 reads do.
+//! Thin wrapper over the `extension_ecc` registry experiment — all spec
+//! construction and rendering live in `gsdram_bench::experiments`.
+//! Shared flags: `--json <path>` (pretty stats JSON), `--serial`,
+//! `--threads <n>`, `--quiet`, plus the experiment's own knobs.
 //!
-//! Run: `cargo run -rp gsdram-bench --bin extension_ecc [--trials 20000]`
+//! Run: `cargo run -rp gsdram-bench --bin extension_ecc -- --json results/extension_ecc.json`
 
-use gsdram_bench::{arg_u64, print_header};
-use gsdram_core::ecc::{Decode, EccModule};
-use gsdram_core::{ColumnId, Geometry, GsDramConfig, PatternId, RowId};
-use gsdram_workloads::common::SplitMix;
-
-fn main() {
-    let trials = arg_u64("--trials", 20_000);
-    print_header(
-        "Extension: ECC (SEC-DED) coverage under every gather pattern",
-        &format!("{trials} random fault injections per pattern, GS-DRAM(8,3,3) + ECC chip"),
-    );
-    let cfg = GsDramConfig::gs_dram_8_3_3();
-    let geom = Geometry::ddr3_row(&cfg, 1).expect("valid");
-    let mut rng = SplitMix(2026);
-    println!(
-        "{:<9} {:>12} {:>12} {:>14} {:>12}",
-        "pattern", "singles", "corrected", "doubles", "detected"
-    );
-    for p in 0..8u8 {
-        let mut corrected = 0u64;
-        let mut detected = 0u64;
-        let singles = trials / 2;
-        let doubles = trials - singles;
-        for t in 0..trials {
-            // Fresh content each trial.
-            let mut m = EccModule::new(cfg.clone(), geom);
-            let col = ColumnId(rng.below(128) as u32);
-            let line: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
-            m.write_line(RowId(0), col, PatternId(p), true, &line).expect("in range");
-            let word = rng.below(8) as usize;
-            let double = t >= singles;
-            let bits = if double {
-                let b1 = rng.below(64);
-                let mut b2 = rng.below(64);
-                if b2 == b1 {
-                    b2 = (b2 + 1) % 64;
-                }
-                (1u64 << b1) | (1u64 << b2)
-            } else {
-                1u64 << rng.below(64)
-            };
-            m.inject_data_error(RowId(0), col, PatternId(p), true, word, bits);
-            let read = m.read_line(RowId(0), col, PatternId(p), true).expect("in range");
-            match read.outcomes[word] {
-                Decode::Corrected(v) if !double => {
-                    assert_eq!(v, line[word], "must correct to the original");
-                    corrected += 1;
-                }
-                Decode::DoubleError if double => detected += 1,
-                _ => {}
-            }
-        }
-        println!(
-            "{:<9} {:>12} {:>12} {:>14} {:>12}",
-            p, singles, corrected, doubles, detected
-        );
-        assert_eq!(corrected, singles, "pattern {p}: every single must correct");
-        assert_eq!(detected, doubles, "pattern {p}: every double must be detected");
-    }
-    println!("----------------------------------------------------------------");
-    println!("every pattern gathers its check bytes through the ECC chip's");
-    println!("per-tile translation: 100% single-bit correction, 100% double-bit");
-    println!("detection — the §6.3 'seamless ECC for all access patterns'.");
+fn main() -> std::process::ExitCode {
+    gsdram_bench::experiments::cli_main("extension_ecc")
 }

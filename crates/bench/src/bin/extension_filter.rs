@@ -1,62 +1,12 @@
-//! Extension experiment: selective projection vs selectivity.
+//! Extension: selective projection vs selectivity
 //!
-//! `SELECT * WHERE field0 < x` — scan one column, fetch full tuples for
-//! matches. GS-DRAM accelerates the scan (gathered column lines); the
-//! projection is row-friendly on both layouts. The speedup therefore
-//! decays from the pure-scan ~2.7× toward parity as selectivity rises —
-//! the crossover the HTAP motivation implies: GS-DRAM lets *one* layout
-//! serve both ends.
+//! Thin wrapper over the `extension_filter` registry experiment — all spec
+//! construction and rendering live in `gsdram_bench::experiments`.
+//! Shared flags: `--json <path>` (pretty stats JSON), `--serial`,
+//! `--threads <n>`, `--quiet`, plus the experiment's own knobs.
 //!
-//! Run: `cargo run -rp gsdram-bench --bin extension_filter
-//!       [--tuples 262144]`
+//! Run: `cargo run -rp gsdram-bench --bin extension_filter -- --json results/extension_filter.json`
 
-use gsdram_bench::{arg_u64, mcycles, print_header, table1_machine};
-use gsdram_system::ops::Program;
-use gsdram_system::StopWhen;
-use gsdram_workloads::filter::FilterQuery;
-use gsdram_workloads::imdb::{Layout, Table};
-
-fn main() {
-    let tuples = arg_u64("--tuples", 1 << 18);
-    print_header(
-        "Extension: selective projection (scan + fetch matching tuples)",
-        &format!("table of {tuples} tuples; selectivity sweep on field 0"),
-    );
-    let mem = (tuples as usize * 64) * 2;
-    println!(
-        "{:<13} {:>12} {:>12} {:>12} {:>10}",
-        "selectivity", "Row Store", "Column St.", "GS-DRAM", "Row/GS"
-    );
-    for pct in [0u64, 1, 5, 25, 50, 100] {
-        let threshold = 8 * (tuples * pct / 100);
-        let mut cycles = Vec::new();
-        for layout in Layout::ALL {
-            let mut m = table1_machine(1, mem, true);
-            let table = Table::create(&mut m, layout, tuples);
-            let mut q = FilterQuery::new(table, 0, threshold);
-            let r = {
-                let mut programs: Vec<&mut dyn Program> = vec![&mut q];
-                m.run(&mut programs, StopWhen::AllDone)
-            };
-            assert_eq!(q.matches(), tuples * pct / 100, "{}", layout.label());
-            cycles.push(r.cpu_cycles);
-        }
-        println!(
-            "{:<13} {} {} {} {:>9.2}x",
-            format!("{pct}%"),
-            mcycles(cycles[0]),
-            mcycles(cycles[1]),
-            mcycles(cycles[2]),
-            cycles[0] as f64 / cycles[2] as f64
-        );
-    }
-    println!("----------------------------------------------------------------");
-    println!("reading the sweep: at 0% the query is a pure column scan (GS ~=");
-    println!("Column, ~3x over Row); as selectivity grows the tuple fetches");
-    println!("dominate and the advantage decays. At 100% GS-DRAM pays slightly");
-    println!("more than the Row Store because matching data is cached twice —");
-    println!("once under each pattern (the §4.1 two-pattern caching cost) — so");
-    println!("a query planner over GS-DRAM should switch to plain tuple scans");
-    println!("above the crossover, exactly as it would choose between row and");
-    println!("column replicas, but without storing two copies of the table.");
+fn main() -> std::process::ExitCode {
+    gsdram_bench::experiments::cli_main("extension_filter")
 }

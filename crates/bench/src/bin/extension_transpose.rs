@@ -1,50 +1,12 @@
-//! Extension experiment: matrix transpose via gathered tile columns.
+//! Extension: out-of-place matrix transpose
 //!
-//! The row-major baseline's column walk (stride `8n` bytes) set-
-//! conflicts in the L1 and re-misses to DRAM once the matrix outgrows
-//! the L2; the 8×8-tiled GS-DRAM source turns each destination row
-//! segment into one pattern-7 gathered line.
+//! Thin wrapper over the `extension_transpose` registry experiment — all spec
+//! construction and rendering live in `gsdram_bench::experiments`.
+//! Shared flags: `--json <path>` (pretty stats JSON), `--serial`,
+//! `--threads <n>`, `--quiet`, plus the experiment's own knobs.
 //!
-//! Run: `cargo run -rp gsdram-bench --bin extension_transpose
-//!       [--sizes 128,256,512]`
+//! Run: `cargo run -rp gsdram-bench --bin extension_transpose -- --json results/extension_transpose.json`
 
-use gsdram_bench::{arg_value, print_header, run_single, table1_machine};
-use gsdram_workloads::transpose::{program, Transpose, TransposeLayout};
-
-fn main() {
-    let sizes: Vec<usize> = arg_value("--sizes")
-        .map(|s| s.split(',').filter_map(|x| x.parse().ok()).collect())
-        .unwrap_or_else(|| vec![128, 256, 512]);
-    print_header(
-        "Extension: out-of-place matrix transpose (dst = src^T)",
-        "row-major scattered column loads vs pattern-7 tile-column gathers",
-    );
-    println!(
-        "{:<6} {:>14} {:>14} {:>10} {:>16}",
-        "n", "row-major (Mc)", "GS-DRAM (Mc)", "speedup", "DRAM reads (r/g)"
-    );
-    for n in sizes {
-        let mut cycles = Vec::new();
-        let mut reads = Vec::new();
-        for layout in [TransposeLayout::RowMajor, TransposeLayout::GsDram] {
-            let mut m = table1_machine(1, (2 * n * n * 8 * 2).max(16 << 20), false);
-            let t = Transpose::create(&mut m, layout, n);
-            let mut p = program(t);
-            let r = run_single(&mut m, &mut p);
-            cycles.push(r.cpu_cycles);
-            reads.push(r.dram.reads);
-        }
-        println!(
-            "{:<6} {:>14.2} {:>14.2} {:>9.2}x {:>8}/{:<8}",
-            n,
-            cycles[0] as f64 / 1e6,
-            cycles[1] as f64 / 1e6,
-            cycles[0] as f64 / cycles[1] as f64,
-            reads[0],
-            reads[1]
-        );
-    }
-    println!("----------------------------------------------------------------");
-    println!("expected: parity while the source fits in the L2 (its conflict");
-    println!("misses are cheap), opening to a clear GS-DRAM win beyond it.");
+fn main() -> std::process::ExitCode {
+    gsdram_bench::experiments::cli_main("extension_transpose")
 }

@@ -1,75 +1,12 @@
-//! The §5.3 applications: key-value store and graph processing.
+//! Extras (S5.3): key-value store and graph processing
 //!
-//! Paper claim: both exhibit two access patterns (per-object vs
-//! one-field-of-many-objects) and "can benefit significantly from
-//! GS-DRAM".
+//! Thin wrapper over the `extras_kvstore_graph` registry experiment — all spec
+//! construction and rendering live in `gsdram_bench::experiments`.
+//! Shared flags: `--json <path>` (pretty stats JSON), `--serial`,
+//! `--threads <n>`, `--quiet`, plus the experiment's own knobs.
 //!
-//! Run: `cargo run -rp gsdram-bench --bin extras_kvstore_graph`
+//! Run: `cargo run -rp gsdram-bench --bin extras_kvstore_graph -- --json results/extras_kvstore_graph.json`
 
-use gsdram_bench::{arg_u64, mcycles, print_header, run_single, table1_machine};
-use gsdram_workloads::graph::{scan, updates, Graph, GraphLayout};
-use gsdram_workloads::kvstore::{inserts, lookups, KvLayout, KvStore};
-
-fn main() {
-    let pairs = arg_u64("--pairs", 1 << 16);
-    let nodes = arg_u64("--nodes", 1 << 17);
-    print_header(
-        "Extras (§5.3): key-value store and graph processing",
-        &format!("{pairs} KV pairs; {nodes} graph nodes"),
-    );
-
-    println!("Key-value store ({} pairs):", pairs);
-    println!(
-        "{:<20} {:>14} {:>14} {:>12}",
-        "operation", "Interleaved", "GS-DRAM", "speedup"
-    );
-    for (name, which) in [("lookups (scan keys)", 0), ("inserts", 1)] {
-        let mut cycles = Vec::new();
-        for layout in [KvLayout::Interleaved, KvLayout::GsDram] {
-            let mut m = table1_machine(1, (pairs as usize * 16) * 4, true);
-            let kv = KvStore::create(&mut m, layout, pairs);
-            let mut p = if which == 0 {
-                lookups(kv, pairs / 2, 64, 7)
-            } else {
-                inserts(kv, 2000, 7)
-            };
-            let r = run_single(&mut m, &mut p);
-            cycles.push(r.cpu_cycles);
-        }
-        println!(
-            "{:<20} {} {} {:>11.2}x",
-            name,
-            mcycles(cycles[0]),
-            mcycles(cycles[1]),
-            cycles[0] as f64 / cycles[1] as f64
-        );
-    }
-    println!();
-
-    println!("Graph processing ({} nodes, 8 fields/node):", nodes);
-    println!(
-        "{:<20} {:>14} {:>14} {:>12}",
-        "operation", "Node-major", "GS-DRAM", "speedup"
-    );
-    for (name, which) in [("traversal scan", 0), ("node updates", 1)] {
-        let mut cycles = Vec::new();
-        for layout in [GraphLayout::NodeMajor, GraphLayout::GsDram] {
-            let mut m = table1_machine(1, (nodes as usize * 64) * 2, true);
-            let g = Graph::create(&mut m, layout, nodes);
-            let mut p = if which == 0 { scan(g, 0) } else { updates(g, 2000, 5) };
-            let r = run_single(&mut m, &mut p);
-            cycles.push(r.cpu_cycles);
-        }
-        println!(
-            "{:<20} {} {} {:>11.2}x",
-            name,
-            mcycles(cycles[0]),
-            mcycles(cycles[1]),
-            cycles[0] as f64 / cycles[1] as f64
-        );
-    }
-    println!("----------------------------------------------------------------");
-    println!("expected: gathers speed up the scan-one-field phases (~2x for keys,");
-    println!("up to ~8x line reduction for node scans) while per-object phases");
-    println!("stay neutral.");
+fn main() -> std::process::ExitCode {
+    gsdram_bench::experiments::cli_main("extras_kvstore_graph")
 }

@@ -1,57 +1,12 @@
-//! Reproduces Figure 9: transaction-workload execution time for Row
-//! Store, Column Store and GS-DRAM over the eight read/write mixes.
+//! Figure 9: transaction execution time across read/write mixes
 //!
-//! Paper shape: Row Store flat across mixes; Column Store degrades with
-//! field count (≈3× worse on average); GS-DRAM ≈ Row Store.
+//! Thin wrapper over the `fig9` registry experiment — all spec
+//! construction and rendering live in `gsdram_bench::experiments`.
+//! Shared flags: `--json <path>` (pretty stats JSON), `--serial`,
+//! `--threads <n>`, `--quiet`, plus the experiment's own knobs.
 //!
-//! Run: `cargo run -rp gsdram-bench --bin fig09_transactions
-//!       [--txns 10000] [--tuples 1048576]`
+//! Run: `cargo run -rp gsdram-bench --bin fig09_transactions -- --json results/fig9.json`
 
-use gsdram_bench::{arg_u64, mcycles, print_header, run_single, table1_machine};
-use gsdram_workloads::imdb::{transactions, Layout, Table, TxnSpec};
-
-fn main() {
-    let txns = arg_u64("--txns", 10_000);
-    let tuples = arg_u64("--tuples", 1 << 20);
-    print_header(
-        "Figure 9: transaction workload (execution time, million cycles)",
-        &format!("{txns} transactions on a {tuples}-tuple table (8 x 8-byte fields)"),
-    );
-    println!(
-        "{:<8} {:>12} {:>12} {:>12}   {:>8}",
-        "r-w-rw", "Row Store", "Column St.", "GS-DRAM", "Col/GS"
-    );
-    let mem = (tuples as usize * 64) * 2;
-    let mut ratio_sum = 0.0;
-    let mut gs_vs_row_sum = 0.0;
-    for spec in TxnSpec::FIGURE9 {
-        let mut cycles = Vec::new();
-        for layout in Layout::ALL {
-            let mut m = table1_machine(1, mem, false);
-            let table = Table::create(&mut m, layout, tuples);
-            let mut p = transactions(table, spec, txns, 42);
-            let r = run_single(&mut m, &mut p);
-            assert_eq!(r.progress[0], txns, "all transactions must commit");
-            cycles.push(r.cpu_cycles);
-        }
-        let col_over_gs = cycles[1] as f64 / cycles[2] as f64;
-        let gs_over_row = cycles[2] as f64 / cycles[0] as f64;
-        ratio_sum += col_over_gs;
-        gs_vs_row_sum += gs_over_row;
-        println!(
-            "{:<8} {} {} {}   {:>7.2}x",
-            spec.label(),
-            mcycles(cycles[0]),
-            mcycles(cycles[1]),
-            mcycles(cycles[2]),
-            col_over_gs
-        );
-    }
-    let n = TxnSpec::FIGURE9.len() as f64;
-    println!("----------------------------------------------------------------");
-    println!(
-        "avg Column/GS-DRAM = {:.2}x (paper: ~3x); avg GS-DRAM/Row = {:.2}x (paper: ~1x)",
-        ratio_sum / n,
-        gs_vs_row_sum / n
-    );
+fn main() -> std::process::ExitCode {
+    gsdram_bench::experiments::cli_main("fig9")
 }

@@ -1,53 +1,12 @@
-//! Reproduces Figure 10: analytics-query execution time (sum of 1 or 2
-//! columns), without and with the stride prefetcher.
+//! Figure 10: analytics execution time (1-2 columns, +/- prefetch)
 //!
-//! Paper shape: Column Store ≪ Row Store; GS-DRAM ≈ Column Store
-//! (≈2× better than Row Store on average); prefetching helps everyone.
+//! Thin wrapper over the `fig10` registry experiment — all spec
+//! construction and rendering live in `gsdram_bench::experiments`.
+//! Shared flags: `--json <path>` (pretty stats JSON), `--serial`,
+//! `--threads <n>`, `--quiet`, plus the experiment's own knobs.
 //!
-//! Run: `cargo run -rp gsdram-bench --bin fig10_analytics
-//!       [--tuples 1048576]`
+//! Run: `cargo run -rp gsdram-bench --bin fig10_analytics -- --json results/fig10.json`
 
-use gsdram_bench::{arg_u64, mcycles, print_header, run_single, table1_machine};
-use gsdram_workloads::imdb::{analytics, Layout, Table};
-
-fn main() {
-    let tuples = arg_u64("--tuples", 1 << 20);
-    print_header(
-        "Figure 10: analytics workload (execution time, million cycles)",
-        &format!("column sums over a {tuples}-tuple table"),
-    );
-    let mem = (tuples as usize * 64) * 2;
-    println!(
-        "{:<22} {:>12} {:>12} {:>12}   {:>8}",
-        "configuration", "Row Store", "Column St.", "GS-DRAM", "Row/GS"
-    );
-    for prefetch in [false, true] {
-        for k in [1usize, 2] {
-            let columns: Vec<usize> = (0..k).collect();
-            let mut cycles = Vec::new();
-            for layout in Layout::ALL {
-                let mut m = table1_machine(1, mem, prefetch);
-                let table = Table::create(&mut m, layout, tuples);
-                let mut p = analytics(table, &columns);
-                let r = run_single(&mut m, &mut p);
-                // Functional verification: the sums must be exact.
-                let want: u64 = columns
-                    .iter()
-                    .fold(0u64, |a, &f| a.wrapping_add(table.expected_column_sum(f)));
-                assert_eq!(r.results[0], want, "{} sum mismatch", layout.label());
-                cycles.push(r.cpu_cycles);
-            }
-            println!(
-                "{:<22} {} {} {}   {:>7.2}x",
-                format!("{} pref., {k} column(s)", if prefetch { "with" } else { "w/o" }),
-                mcycles(cycles[0]),
-                mcycles(cycles[1]),
-                mcycles(cycles[2]),
-                cycles[0] as f64 / cycles[2] as f64
-            );
-        }
-    }
-    println!("----------------------------------------------------------------");
-    println!("paper shape: GS-DRAM ~= Column Store; ~2x faster than Row Store on avg;");
-    println!("prefetching improves all three mechanisms.");
+fn main() -> std::process::ExitCode {
+    gsdram_bench::experiments::cli_main("fig10")
 }

@@ -1,53 +1,12 @@
-//! Reproduces Figure 11: the HTAP workload — one analytics thread (sum
-//! of one column) and one transactions thread (1 read-only + 1
-//! write-only field per transaction) sharing the table; measured until
-//! the analytics query completes.
+//! Figure 11: HTAP analytics time and transaction throughput
 //!
-//! Paper shape: (a) analytics time — GS-DRAM ≈ Column Store ≪ Row
-//! Store; (b) transaction throughput — GS-DRAM beats Column Store *and*
-//! Row Store (the analytics stream's row hits starve the transaction
-//! thread under FR-FCFS; GS-DRAM touches 8× fewer lines per row).
+//! Thin wrapper over the `fig11` registry experiment — all spec
+//! construction and rendering live in `gsdram_bench::experiments`.
+//! Shared flags: `--json <path>` (pretty stats JSON), `--serial`,
+//! `--threads <n>`, `--quiet`, plus the experiment's own knobs.
 //!
-//! Run: `cargo run -rp gsdram-bench --bin fig11_htap [--tuples 1048576]`
+//! Run: `cargo run -rp gsdram-bench --bin fig11_htap -- --json results/fig11.json`
 
-use gsdram_bench::{arg_u64, mcycles, print_header, run_htap, table1_machine};
-use gsdram_workloads::imdb::{analytics, transactions, Layout, Table, TxnSpec};
-
-fn main() {
-    let tuples = arg_u64("--tuples", 1 << 20);
-    print_header(
-        "Figure 11: HTAP (analytics time + transaction throughput)",
-        &format!(
-            "core 0: sum of 1 column over {tuples} tuples; core 1: endless 1-0-1... \
-             transactions (1 RO, 1 WO field)"
-        ),
-    );
-    let mem = (tuples as usize * 64) * 2;
-    let spec = TxnSpec { read_only: 1, write_only: 1, read_write: 0 };
-    println!(
-        "{:<14} {:<13} {:>14} {:>16}",
-        "prefetch", "mechanism", "analytics (Mc)", "txn thr. (M/s)"
-    );
-    for prefetch in [false, true] {
-        for layout in Layout::ALL {
-            let mut m = table1_machine(2, mem, prefetch);
-            let table = Table::create(&mut m, layout, tuples);
-            let mut anal = analytics(table, &[0]);
-            let mut txn = transactions(table, spec, u64::MAX, 99);
-            let r = run_htap(&mut m, &mut anal, &mut txn);
-            let secs = r.seconds(m.config());
-            let throughput = r.progress[1] as f64 / secs / 1e6;
-            println!(
-                "{:<14} {:<13} {:>14} {:>15.2}",
-                if prefetch { "with" } else { "w/o" },
-                layout.label(),
-                mcycles(r.cpu_cycles),
-                throughput
-            );
-        }
-    }
-    println!("----------------------------------------------------------------");
-    println!("paper shape: analytics GS ~= Column Store << Row Store;");
-    println!("transaction throughput GS > Row Store > Column Store (FR-FCFS");
-    println!("starvation: Row Store analytics hits every line of each DRAM row).");
+fn main() -> std::process::ExitCode {
+    gsdram_bench::experiments::cli_main("fig11")
 }

@@ -1,108 +1,12 @@
-//! Reproduces Figure 12: average performance and energy for the
-//! transaction and analytics workloads.
+//! Figure 12: average performance and energy summary
 //!
-//! Paper numbers (§5.1): transactions — GS-DRAM ≈ Row Store energy,
-//! 2.1× lower than Column Store; analytics (with prefetching) —
-//! GS-DRAM ≈ Column Store energy, 2.4× lower than Row Store (4×
-//! without prefetching).
+//! Thin wrapper over the `fig12` registry experiment — all spec
+//! construction and rendering live in `gsdram_bench::experiments`.
+//! Shared flags: `--json <path>` (pretty stats JSON), `--serial`,
+//! `--threads <n>`, `--quiet`, plus the experiment's own knobs.
 //!
-//! Run: `cargo run -rp gsdram-bench --bin fig12_summary
-//!       [--txns 10000] [--tuples 1048576]`
+//! Run: `cargo run -rp gsdram-bench --bin fig12_summary -- --json results/fig12.json`
 
-use gsdram_bench::{arg_u64, mcycles, print_header, run_single, table1_machine};
-use gsdram_workloads::imdb::{analytics, transactions, Layout, Table, TxnSpec};
-
-fn main() {
-    let txns = arg_u64("--txns", 10_000);
-    let tuples = arg_u64("--tuples", 1 << 20);
-    print_header(
-        "Figure 12: performance and energy summary (transactions & analytics)",
-        &format!("{txns} transactions / column sums over {tuples} tuples"),
-    );
-    let mem = (tuples as usize * 64) * 2;
-
-    // (a)+(b) Transactions: average over the eight Figure 9 mixes.
-    let mut txn_cycles = [0.0f64; 3];
-    let mut txn_energy = [0.0f64; 3];
-    for spec in TxnSpec::FIGURE9 {
-        for (li, layout) in Layout::ALL.iter().enumerate() {
-            let mut m = table1_machine(1, mem, false);
-            let table = Table::create(&mut m, *layout, tuples);
-            let mut p = transactions(table, spec, txns, 42);
-            let r = run_single(&mut m, &mut p);
-            txn_cycles[li] += r.cpu_cycles as f64 / TxnSpec::FIGURE9.len() as f64;
-            txn_energy[li] += r.energy.total_mj() / TxnSpec::FIGURE9.len() as f64;
-        }
-    }
-
-    // Analytics with prefetching, averaged over k = 1, 2.
-    let mut anal_cycles = [0.0f64; 3];
-    let mut anal_energy = [0.0f64; 3];
-    let mut anal_energy_nopref = [0.0f64; 3];
-    for k in [1usize, 2] {
-        let columns: Vec<usize> = (0..k).collect();
-        for (li, layout) in Layout::ALL.iter().enumerate() {
-            let mut m = table1_machine(1, mem, true);
-            let table = Table::create(&mut m, *layout, tuples);
-            let mut p = analytics(table, &columns);
-            let r = run_single(&mut m, &mut p);
-            anal_cycles[li] += r.cpu_cycles as f64 / 2.0;
-            anal_energy[li] += r.energy.total_mj() / 2.0;
-
-            let mut m = table1_machine(1, mem, false);
-            let table = Table::create(&mut m, *layout, tuples);
-            let mut p = analytics(table, &columns);
-            let r = run_single(&mut m, &mut p);
-            anal_energy_nopref[li] += r.energy.total_mj() / 2.0;
-        }
-    }
-
-    println!("(a) average execution time (million cycles)");
-    println!(
-        "{:<14} {:>12} {:>12} {:>12}",
-        "workload", "Row Store", "Column St.", "GS-DRAM"
-    );
-    println!(
-        "{:<14} {} {} {}",
-        "Trans.",
-        mcycles(txn_cycles[0] as u64),
-        mcycles(txn_cycles[1] as u64),
-        mcycles(txn_cycles[2] as u64)
-    );
-    println!(
-        "{:<14} {} {} {}",
-        "Anal. (pref)",
-        mcycles(anal_cycles[0] as u64),
-        mcycles(anal_cycles[1] as u64),
-        mcycles(anal_cycles[2] as u64)
-    );
-    println!();
-    println!("(b) average energy (mJ)");
-    println!(
-        "{:<14} {:>12} {:>12} {:>12}",
-        "workload", "Row Store", "Column St.", "GS-DRAM"
-    );
-    println!(
-        "{:<14} {:>12.2} {:>12.2} {:>12.2}",
-        "Trans.", txn_energy[0], txn_energy[1], txn_energy[2]
-    );
-    println!(
-        "{:<14} {:>12.2} {:>12.2} {:>12.2}",
-        "Anal. (pref)", anal_energy[0], anal_energy[1], anal_energy[2]
-    );
-    println!(
-        "{:<14} {:>12.2} {:>12.2} {:>12.2}",
-        "Anal. (none)", anal_energy_nopref[0], anal_energy_nopref[1], anal_energy_nopref[2]
-    );
-    println!("----------------------------------------------------------------");
-    println!(
-        "transactions: Column/GS energy = {:.2}x (paper 2.1x); GS/Row = {:.2}x (paper ~1x)",
-        txn_energy[1] / txn_energy[2],
-        txn_energy[2] / txn_energy[0]
-    );
-    println!(
-        "analytics:    Row/GS energy (pref) = {:.2}x (paper 2.4x); (no pref) = {:.2}x (paper 4x)",
-        anal_energy[0] / anal_energy[2],
-        anal_energy_nopref[0] / anal_energy_nopref[2]
-    );
+fn main() -> std::process::ExitCode {
+    gsdram_bench::experiments::cli_main("fig12")
 }

@@ -1,81 +1,12 @@
-//! Reproduces Figure 13: GEMM execution time for GS-DRAM and the best
-//! tiled baseline, normalised to the non-tiled (naive) version, for
-//! matrix sizes 32…1024.
+//! Figure 13: GEMM vs best tiled baseline, normalised to naive
 //!
-//! Paper shape: tiling's benefit grows with n; GS-DRAM beats the best
-//! tiled+SIMD baseline by ~10% at every size (it eliminates the
-//! software gather of B-column values into SIMD registers).
+//! Thin wrapper over the `fig13` registry experiment — all spec
+//! construction and rendering live in `gsdram_bench::experiments`.
+//! Shared flags: `--json <path>` (pretty stats JSON), `--serial`,
+//! `--threads <n>`, `--quiet`, plus the experiment's own knobs.
 //!
-//! For n ≥ 256 the harness samples the outermost loop (rows / row-tile
-//! stripes) and scales — the per-stripe behaviour is uniform, so the
-//! normalised shape is preserved (pass `--full` to simulate everything).
-//!
-//! Run: `cargo run -rp gsdram-bench --bin fig13_gemm
-//!       [--sizes 32,64,128,256,512,1024] [--full]`
+//! Run: `cargo run -rp gsdram-bench --bin fig13_gemm -- --json results/fig13.json`
 
-use gsdram_bench::{arg_flag, arg_value, print_header, run_single, table1_machine};
-use gsdram_system::Machine;
-use gsdram_workloads::gemm::{program, Gemm, GemmVariant};
-
-fn run_variant(n: usize, v: GemmVariant, full: bool) -> f64 {
-    let mem = (3 * n * n * 8 + (8 << 20)).max(16 << 20);
-    // The paper enables the stride prefetcher only for the analytics
-    // evaluation (Table 1 note, §5.1); GEMM runs without it.
-    let mut m: Machine = table1_machine(1, mem, false);
-    let g = Gemm::create(&mut m, n, v);
-    g.init(&mut m);
-    let sample = if full || n < 256 {
-        None
-    } else {
-        match v {
-            GemmVariant::Naive => Some(8),  // i-rows
-            _ => Some(2),                   // row-tile stripes
-        }
-    };
-    let (mut p, scale) = program(g, sample);
-    let r = run_single(&mut m, &mut p);
-    r.cpu_cycles as f64 * scale
-}
-
-fn main() {
-    let sizes: Vec<usize> = arg_value("--sizes")
-        .map(|s| s.split(',').filter_map(|x| x.parse().ok()).collect())
-        .unwrap_or_else(|| vec![32, 64, 128, 256, 512, 1024]);
-    let full = arg_flag("--full");
-    print_header(
-        "Figure 13: GEMM normalized execution time (lower is better)",
-        "baseline sweep over tiles {16,32,64}; GS-DRAM uses 8x8-tiled B + pattern-7 SIMD loads",
-    );
-    println!(
-        "{:<6} {:>12} {:>12} {:>12} {:>10} {:>10}",
-        "n", "naive (Mc)", "best tiled", "GS-DRAM", "tiled/nv", "GS gain"
-    );
-    for n in sizes {
-        let naive = run_variant(n, GemmVariant::Naive, full);
-        let tiles: Vec<usize> = [16usize, 32, 64].iter().copied().filter(|t| *t <= n).collect();
-        let mut best_tiled = f64::INFINITY;
-        let mut best_tile = 0;
-        for t in &tiles {
-            let c = run_variant(n, GemmVariant::TiledSimd { tile: *t }, full);
-            if c < best_tiled {
-                best_tiled = c;
-                best_tile = *t;
-            }
-        }
-        let gs_tile = best_tile.max(8);
-        let gs = run_variant(n, GemmVariant::GsDram { tile: gs_tile }, full);
-        println!(
-            "{:<6} {:>12.2} {:>9.2}({:>2}) {:>12.2} {:>9.3} {:>9.1}%",
-            n,
-            naive / 1e6,
-            best_tiled / 1e6,
-            best_tile,
-            gs / 1e6,
-            best_tiled / naive,
-            (1.0 - gs / best_tiled) * 100.0
-        );
-    }
-    println!("----------------------------------------------------------------");
-    println!("paper: tiled/naive shrinks with n (tiling eliminates memory refs);");
-    println!("GS-DRAM improves on the best tiled baseline by ~10-11% at every n.");
+fn main() -> std::process::ExitCode {
+    gsdram_bench::experiments::cli_main("fig13")
 }

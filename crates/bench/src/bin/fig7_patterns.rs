@@ -1,58 +1,12 @@
-//! Reproduces Figure 7 (the gathered cache lines of GS-DRAM(4,2,2) for
-//! every pattern/column pair), Figure 6's data mapping, and the §3.4
-//! walk-through.
+//! Figure 7: gathered cache lines of GS-DRAM(4,2,2) + Figure 6 mapping
 //!
-//! Run: `cargo run -rp gsdram-bench --bin fig7_patterns`
+//! Thin wrapper over the `fig7` registry experiment — all spec
+//! construction and rendering live in `gsdram_bench::experiments`.
+//! Shared flags: `--json <path>` (pretty stats JSON), `--serial`,
+//! `--threads <n>`, `--quiet`, plus the experiment's own knobs.
+//!
+//! Run: `cargo run -rp gsdram-bench --bin fig7_patterns -- --json results/fig7.json`
 
-use gsdram_core::analysis::{pattern_table, stride_label};
-use gsdram_core::{
-    ColumnId, Geometry, GsDramConfig, GsModule, PatternId, RowId,
-};
-
-fn main() {
-    println!("Figure 7: cache lines gathered by GS-DRAM(4,2,2)");
-    println!("(circled indices = logical row-buffer elements, in assembly order)");
-    println!();
-    let cfg = GsDramConfig::gs_dram_4_2_2();
-    let table = pattern_table(&cfg, 4);
-    let mut current = None;
-    for e in &table {
-        if current != Some(e.pattern) {
-            current = Some(e.pattern);
-            println!("Pattern {} ({})", e.pattern.0, stride_label(&cfg, e.pattern));
-        }
-        let cells: Vec<String> = e.elements.iter().map(|x| format!("{x:>2}")).collect();
-        println!("  col {} -> {}", e.col.0, cells.join(" "));
-    }
-    println!();
-    println!("Note: the paper's printed Figure 7 lists pattern 2's rows sorted by");
-    println!("leading element (its col-1/col-2 rows swapped); the rows above follow");
-    println!("the CTL equation (chip & pattern) ^ column. The four sets per pattern");
-    println!("are identical either way. See EXPERIMENTS.md.");
-    println!();
-
-    // Figure 6 / §3.4: the first four tuples of the example table.
-    println!("Figure 6: shuffled mapping of four 4-field tuples (value ij = tuple i, field j)");
-    let geom = Geometry::new(&cfg, 1, 16).expect("valid geometry");
-    let mut m = GsModule::new(cfg.clone(), geom);
-    for t in 0..4u64 {
-        let tuple: Vec<u64> = (0..4).map(|f| t * 10 + f).collect();
-        m.write_line(RowId(0), ColumnId(t as u32), PatternId(0), true, &tuple)
-            .expect("in range");
-    }
-    println!("         Chip0 Chip1 Chip2 Chip3");
-    for col in 0..4u32 {
-        let row: Vec<String> = (0..4)
-            .map(|chip| format!("{:>4}", m.chip_words(chip)[col as usize]))
-            .collect();
-        println!("  col {col} {}", row.join("  "));
-    }
-    println!();
-    println!("§3.4 walk-through:");
-    let tuple2 = m.read_line(RowId(0), ColumnId(2), PatternId(0), true).unwrap();
-    println!("  READ col 2, pattern 0 -> {tuple2:?}   (the third tuple)");
-    let field0 = m.read_line(RowId(0), ColumnId(0), PatternId(3), true).unwrap();
-    println!("  READ col 0, pattern 3 -> {field0:?}   (field 0 of tuples 0..4)");
-    let field1 = m.read_line(RowId(0), ColumnId(1), PatternId(3), true).unwrap();
-    println!("  READ col 1, pattern 3 -> {field1:?}   (field 1 of tuples 0..4)");
+fn main() -> std::process::ExitCode {
+    gsdram_bench::experiments::cli_main("fig7")
 }

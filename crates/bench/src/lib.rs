@@ -1,11 +1,19 @@
 //! # gsdram-bench
 //!
-//! Harness utilities shared by the figure-regeneration binaries (one per
-//! table/figure of the paper — see DESIGN.md §5) and the Criterion
-//! micro-benchmarks.
+//! The experiment engine: declarative run specs ([`spec`]), a registry
+//! mapping every figure/ablation/extension of DESIGN.md §5–§6 to its
+//! specs ([`experiments`]), a parallel sweep runner ([`sweep`]), shared
+//! command-line parsing ([`args`]), and the micro-benchmark harness
+//! ([`micro`]) used by the `benches/` targets.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+
+pub mod args;
+pub mod experiments;
+pub mod micro;
+pub mod spec;
+pub mod sweep;
 
 use gsdram_system::config::SystemConfig;
 use gsdram_system::machine::{Machine, RunReport, StopWhen};
@@ -25,55 +33,6 @@ pub fn run_single(m: &mut Machine, p: &mut dyn Program) -> RunReport {
     m.run(&mut programs, StopWhen::AllDone)
 }
 
-/// Runs two programs, stopping when core 0 finishes (the HTAP
-/// methodology of §5.1).
-pub fn run_htap(m: &mut Machine, p0: &mut dyn Program, p1: &mut dyn Program) -> RunReport {
-    let mut programs: Vec<&mut dyn Program> = vec![p0, p1];
-    m.run(&mut programs, StopWhen::CoreDone(0))
-}
-
-/// Formats cycles as millions with two decimals, like the paper's
-/// y-axes.
-pub fn mcycles(c: u64) -> String {
-    format!("{:>9.2}", c as f64 / 1e6)
-}
-
-/// Prints a standard experiment header with the Table 1 configuration.
-pub fn print_header(title: &str, extra: &str) {
-    println!("================================================================");
-    println!("{title}");
-    println!("----------------------------------------------------------------");
-    println!("System (paper Table 1): in-order x86-like cores @4 GHz;");
-    println!("L1 32 KB/8-way private; L2 2 MB/8-way shared; 64 B lines;");
-    println!("DDR3-1600, 1 channel/1 rank/8 banks, open row, FR-FCFS;");
-    println!("GS-DRAM(8,3,3).");
-    if !extra.is_empty() {
-        println!("{extra}");
-    }
-    println!("================================================================");
-}
-
-/// Simple command-line flag lookup: `--name value`.
-pub fn arg_value(name: &str) -> Option<String> {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == name {
-            return args.next();
-        }
-    }
-    None
-}
-
-/// Numeric flag with default.
-pub fn arg_u64(name: &str, default: u64) -> u64 {
-    arg_value(name).and_then(|v| v.parse().ok()).unwrap_or(default)
-}
-
-/// Boolean flag presence.
-pub fn arg_flag(name: &str) -> bool {
-    std::env::args().any(|a| a == name)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,10 +49,5 @@ mod tests {
         }]);
         let r = run_single(&mut m, &mut p);
         assert!(r.cpu_cycles > 0);
-    }
-
-    #[test]
-    fn mcycles_formatting() {
-        assert_eq!(mcycles(2_500_000).trim(), "2.50");
     }
 }

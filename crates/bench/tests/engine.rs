@@ -1,0 +1,104 @@
+//! Experiment-engine integration tests: the parallel sweep runner must
+//! be bit-identical to the serial one, and the stats trees experiments
+//! emit must survive a JSON round-trip unchanged.
+
+use gsdram_bench::args::Args;
+use gsdram_bench::experiments::{find, run_experiment};
+use gsdram_bench::spec::{MachineSpec, RunSpec, WorkloadSpec};
+use gsdram_bench::sweep::{run_parallel, run_serial};
+use gsdram_core::stats::StatsNode;
+use gsdram_workloads::imdb::{Layout, TxnSpec};
+
+fn small_specs() -> Vec<RunSpec> {
+    let mut v = Vec::new();
+    for layout in Layout::ALL {
+        v.push(RunSpec {
+            id: format!("t/anal/{}", layout.label()),
+            machine: MachineSpec::table1(1, 4 << 20),
+            workload: WorkloadSpec::Analytics {
+                layout,
+                tuples: 2048,
+                columns: vec![0, 1],
+            },
+        });
+        v.push(RunSpec {
+            id: format!("t/txn/{}", layout.label()),
+            machine: MachineSpec::table1(1, 4 << 20),
+            workload: WorkloadSpec::Transactions {
+                layout,
+                spec: TxnSpec {
+                    read_only: 2,
+                    write_only: 1,
+                    read_write: 1,
+                },
+                tuples: 1024,
+                txns: 200,
+                seed: 7,
+            },
+        });
+    }
+    v
+}
+
+/// The tentpole guarantee: executing the same specs on worker threads
+/// produces byte-for-byte the same stats trees, in the same order, as
+/// executing them one by one.
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    let specs = small_specs();
+    let serial = run_serial(&specs);
+    for threads in [2usize, 4, 0] {
+        let parallel = run_parallel(&specs, threads);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.spec, p.spec, "order must be preserved");
+            assert_eq!(s.stats(), p.stats(), "{}: tree mismatch", s.spec.id);
+            assert_eq!(
+                s.stats().to_json(),
+                p.stats().to_json(),
+                "{}: JSON bytes mismatch",
+                s.spec.id
+            );
+        }
+    }
+}
+
+/// Same property one level up: a whole registry experiment run with
+/// `--serial` matches the default parallel run, byte for byte.
+#[test]
+fn registry_experiment_parallel_matches_serial() {
+    let def = find("fig10").expect("registered");
+    let serial = run_experiment(def, &Args::new(["--tuples", "2048", "--serial"]));
+    let parallel = run_experiment(def, &Args::new(["--tuples", "2048", "--threads", "4"]));
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.to_json_pretty(), parallel.to_json_pretty());
+}
+
+/// Every value kind an experiment emits (counters, gauges, text,
+/// nested children) must survive serialise → parse → compare.
+#[test]
+fn experiment_tree_round_trips_through_json() {
+    let def = find("extras_kvstore_graph").expect("registered");
+    let node = run_experiment(
+        def,
+        &Args::new(["--pairs", "512", "--nodes", "1024", "--serial"]),
+    );
+    for json in [node.to_json(), node.to_json_pretty()] {
+        let back = StatsNode::from_json(&json).expect("parse back");
+        assert_eq!(node, back);
+    }
+}
+
+/// Analytic experiments (no machine runs) also produce valid,
+/// round-trippable trees.
+#[test]
+fn analytic_experiment_round_trips() {
+    let def = find("ablation_shuffle").expect("registered");
+    let node = run_experiment(def, &Args::new([] as [&str; 0]));
+    assert_eq!(
+        node.counter_at("summary/reads_per_gathered_line/stride8_shuffled"),
+        Some(1)
+    );
+    let back = StatsNode::from_json(&node.to_json()).expect("parse back");
+    assert_eq!(node, back);
+}

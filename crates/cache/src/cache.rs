@@ -7,6 +7,7 @@
 //! may *partially overlap* in memory; the coherence rules for that live
 //! in [`crate::overlap`] and the system crate.
 
+use gsdram_core::stats::{ReportStats, StatsNode};
 use gsdram_core::PatternId;
 
 /// Identity of a cached line: the line-aligned address plus the pattern
@@ -46,12 +47,22 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// Table 1 L1: 32 KB, 8-way, 64 B lines.
     pub fn l1_32k() -> Self {
-        CacheConfig { size_bytes: 32 * 1024, assoc: 8, line_bytes: 64, latency: 3 }
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            assoc: 8,
+            line_bytes: 64,
+            latency: 3,
+        }
     }
 
     /// Table 1 L2: 2 MB, 8-way, 64 B lines.
     pub fn l2_2m() -> Self {
-        CacheConfig { size_bytes: 2 * 1024 * 1024, assoc: 8, line_bytes: 64, latency: 12 }
+        CacheConfig {
+            size_bytes: 2 * 1024 * 1024,
+            assoc: 8,
+            line_bytes: 64,
+            latency: 12,
+        }
     }
 
     /// Number of sets.
@@ -78,6 +89,18 @@ pub struct CacheStats {
     pub writebacks: u64,
     /// Lines removed by explicit invalidation.
     pub invalidations: u64,
+}
+
+impl ReportStats for CacheStats {
+    fn stats_node(&self, name: &str) -> StatsNode {
+        StatsNode::new(name)
+            .counter("hits", self.hits)
+            .counter("misses", self.misses)
+            .counter("evictions", self.evictions)
+            .counter("writebacks", self.writebacks)
+            .counter("invalidations", self.invalidations)
+            .gauge("miss_rate", self.miss_rate())
+    }
 }
 
 impl CacheStats {
@@ -143,7 +166,10 @@ impl SetAssocCache {
     /// two number of sets.
     pub fn new(cfg: CacheConfig) -> Self {
         let sets = cfg.sets();
-        assert!(sets > 0 && sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         SetAssocCache {
             cfg,
             sets: vec![Vec::with_capacity(cfg.assoc); sets],
@@ -195,7 +221,9 @@ impl SetAssocCache {
     /// Whether `key` is present and dirty (no LRU/stat effects).
     pub fn is_dirty(&self, key: LineKey) -> bool {
         let set = self.set_index(key);
-        self.sets[set].iter().any(|s| s.valid && s.key == key && s.dirty)
+        self.sets[set]
+            .iter()
+            .any(|s| s.valid && s.key == key && s.dirty)
     }
 
     /// Immutable view of a resident line's words.
@@ -227,14 +255,24 @@ impl SetAssocCache {
     /// Panics if `data` is not exactly one line of words, or the key is
     /// already resident (fill must follow a miss).
     pub fn fill(&mut self, key: LineKey, data: Vec<u64>) -> Option<EvictedLine> {
-        assert_eq!(data.len(), self.cfg.words_per_line(), "fill data must be one line");
+        assert_eq!(
+            data.len(),
+            self.cfg.words_per_line(),
+            "fill data must be one line"
+        );
         assert!(!self.contains(key), "double fill of {key:?}");
         self.clock += 1;
         let clock = self.clock;
         let set_idx = self.set_index(key);
         let assoc = self.cfg.assoc;
         let set = &mut self.sets[set_idx];
-        let new_slot = Slot { valid: true, key, dirty: false, lru: clock, data };
+        let new_slot = Slot {
+            valid: true,
+            key,
+            dirty: false,
+            lru: clock,
+            data,
+        };
         if set.len() < assoc {
             set.push(new_slot);
             return None;
@@ -255,19 +293,29 @@ impl SetAssocCache {
         if victim.dirty {
             self.stats.writebacks += 1;
         }
-        Some(EvictedLine { key: victim.key, dirty: victim.dirty, data: victim.data })
+        Some(EvictedLine {
+            key: victim.key,
+            dirty: victim.dirty,
+            data: victim.data,
+        })
     }
 
     /// Removes `key` if present; returns it (for writeback when dirty).
     pub fn invalidate(&mut self, key: LineKey) -> Option<EvictedLine> {
         let set = self.set_index(key);
-        let pos = self.sets[set].iter().position(|s| s.valid && s.key == key)?;
+        let pos = self.sets[set]
+            .iter()
+            .position(|s| s.valid && s.key == key)?;
         let victim = self.sets[set].swap_remove(pos);
         self.stats.invalidations += 1;
         if victim.dirty {
             self.stats.writebacks += 1;
         }
-        Some(EvictedLine { key: victim.key, dirty: victim.dirty, data: victim.data })
+        Some(EvictedLine {
+            key: victim.key,
+            dirty: victim.dirty,
+            data: victim.data,
+        })
     }
 
     /// All resident keys (diagnostics/tests).
@@ -287,7 +335,12 @@ mod tests {
 
     fn tiny() -> SetAssocCache {
         // 4 sets × 2 ways × 64 B = 512 B.
-        SetAssocCache::new(CacheConfig { size_bytes: 512, assoc: 2, line_bytes: 64, latency: 1 })
+        SetAssocCache::new(CacheConfig {
+            size_bytes: 512,
+            assoc: 2,
+            line_bytes: 64,
+            latency: 1,
+        })
     }
 
     fn key(addr: u64) -> LineKey {

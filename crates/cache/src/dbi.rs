@@ -15,6 +15,7 @@
 //! dirty line — the property the coherence flush relies on.
 
 use crate::cache::LineKey;
+use gsdram_core::stats::{ReportStats, StatsNode};
 use gsdram_core::PatternId;
 use std::collections::HashMap;
 
@@ -60,6 +61,16 @@ pub struct DbiStats {
     pub empty_row_queries: u64,
 }
 
+impl ReportStats for DbiStats {
+    fn stats_node(&self, name: &str) -> StatsNode {
+        StatsNode::new(name)
+            .counter("marks", self.marks)
+            .counter("clears", self.clears)
+            .counter("row_queries", self.row_queries)
+            .counter("empty_row_queries", self.empty_row_queries)
+    }
+}
+
 impl DirtyBlockIndex {
     /// An index over rows of `cols_per_row` lines of `line_bytes` bytes.
     ///
@@ -68,7 +79,12 @@ impl DirtyBlockIndex {
     /// Panics if `cols_per_row` exceeds 128 (one `u128` bitmap per row).
     pub fn new(line_bytes: u64, cols_per_row: u64) -> Self {
         assert!(cols_per_row <= 128, "one u128 bitmap per row");
-        DirtyBlockIndex { line_bytes, cols_per_row, rows: HashMap::new(), stats: DbiStats::default() }
+        DirtyBlockIndex {
+            line_bytes,
+            cols_per_row,
+            rows: HashMap::new(),
+            stats: DbiStats::default(),
+        }
     }
 
     /// The standard geometry: 64-byte lines, 128-line (8 KB) rows.
@@ -85,7 +101,13 @@ impl DirtyBlockIndex {
         let row_bytes = self.line_bytes * self.cols_per_row;
         let row_base = key.addr / row_bytes * row_bytes;
         let col = ((key.addr - row_base) / self.line_bytes) as u32;
-        (RowKey { row_base, pattern: key.pattern }, col)
+        (
+            RowKey {
+                row_base,
+                pattern: key.pattern,
+            },
+            col,
+        )
     }
 
     /// Marks `key` (possibly) dirty.
@@ -110,7 +132,9 @@ impl DirtyBlockIndex {
     /// Whether `key` may be dirty.
     pub fn may_be_dirty(&self, key: LineKey) -> bool {
         let (rk, col) = self.split(key);
-        self.rows.get(&rk).is_some_and(|bits| bits & (1u128 << col) != 0)
+        self.rows
+            .get(&rk)
+            .is_some_and(|bits| bits & (1u128 << col) != 0)
     }
 
     /// Whether *any* line of `pattern` within the row containing `addr`
@@ -129,10 +153,15 @@ impl DirtyBlockIndex {
     /// `addr`, as line keys.
     pub fn dirty_lines_in_row(&self, addr: u64, pattern: PatternId) -> Vec<LineKey> {
         let (rk, _) = self.split(LineKey { addr, pattern });
-        let Some(bits) = self.rows.get(&rk) else { return Vec::new() };
+        let Some(bits) = self.rows.get(&rk) else {
+            return Vec::new();
+        };
         (0..self.cols_per_row as u32)
             .filter(|c| bits & (1u128 << c) != 0)
-            .map(|c| LineKey { addr: rk.row_base + c as u64 * self.line_bytes, pattern })
+            .map(|c| LineKey {
+                addr: rk.row_base + c as u64 * self.line_bytes,
+                pattern,
+            })
             .collect()
     }
 

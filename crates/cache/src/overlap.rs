@@ -29,7 +29,11 @@ impl OverlapCalc {
     /// An overlap calculator for lines of `line_bytes` within rows of
     /// `cols_per_row` lines.
     pub fn new(cfg: GsDramConfig, line_bytes: u64, cols_per_row: u64) -> Self {
-        OverlapCalc { cfg, line_bytes, cols_per_row }
+        OverlapCalc {
+            cfg,
+            line_bytes,
+            cols_per_row,
+        }
     }
 
     /// Bytes covered by one DRAM row.
@@ -64,7 +68,12 @@ impl OverlapCalc {
     /// The lines of pattern `other` that share at least one word with
     /// `key` (deduplicated, ascending). When `other == key.pattern` the
     /// only overlapping line is `key` itself.
-    pub fn overlapping_lines(&self, key: LineKey, other: PatternId, shuffled: bool) -> Vec<LineKey> {
+    pub fn overlapping_lines(
+        &self,
+        key: LineKey,
+        other: PatternId,
+        shuffled: bool,
+    ) -> Vec<LineKey> {
         if other == key.pattern {
             return vec![key];
         }
@@ -104,7 +113,10 @@ mod tests {
     #[test]
     fn default_pattern_words_are_contiguous() {
         let c = calc();
-        let key = LineKey { addr: 0x2000, pattern: PatternId(0) };
+        let key = LineKey {
+            addr: 0x2000,
+            pattern: PatternId(0),
+        };
         let words = c.word_addresses(key, true);
         let want: Vec<u64> = (0..8).map(|i| 0x2000 + i * 8).collect();
         assert_eq!(words, want);
@@ -114,7 +126,10 @@ mod tests {
     fn pattern7_words_stride_by_64() {
         // A stride-8 gather covers word 0 of eight consecutive lines.
         let c = calc();
-        let key = LineKey { addr: 0, pattern: PatternId(7) };
+        let key = LineKey {
+            addr: 0,
+            pattern: PatternId(7),
+        };
         let words = c.word_addresses(key, true);
         let want: Vec<u64> = (0..8).map(|i| i * 64).collect();
         assert_eq!(words, want);
@@ -124,7 +139,10 @@ mod tests {
     fn tuple_line_overlaps_eight_field_lines() {
         // §4.4: a write must check `chips` (8) lines of the other pattern.
         let c = calc();
-        let tuple = LineKey { addr: 0x40, pattern: PatternId(0) };
+        let tuple = LineKey {
+            addr: 0x40,
+            pattern: PatternId(0),
+        };
         let fields = c.overlapping_lines(tuple, PatternId(7), true);
         assert_eq!(fields.len(), 8);
         for f in &fields {
@@ -137,7 +155,10 @@ mod tests {
     #[test]
     fn field_line_overlaps_eight_tuple_lines() {
         let c = calc();
-        let field = LineKey { addr: 0, pattern: PatternId(7) };
+        let field = LineKey {
+            addr: 0,
+            pattern: PatternId(7),
+        };
         let tuples = c.overlapping_lines(field, PatternId(0), true);
         let want: Vec<u64> = (0..8).map(|i| i * 64).collect();
         assert_eq!(tuples.iter().map(|k| k.addr).collect::<Vec<_>>(), want);
@@ -146,10 +167,16 @@ mod tests {
     #[test]
     fn same_pattern_overlap_is_identity() {
         let c = calc();
-        let k = LineKey { addr: 0x80, pattern: PatternId(3) };
+        let k = LineKey {
+            addr: 0x80,
+            pattern: PatternId(3),
+        };
         assert_eq!(c.overlapping_lines(k, PatternId(3), true), vec![k]);
         assert!(c.overlaps(k, k, true));
-        let other = LineKey { addr: 0xc0, pattern: PatternId(3) };
+        let other = LineKey {
+            addr: 0xc0,
+            pattern: PatternId(3),
+        };
         assert!(!c.overlaps(k, other, true));
     }
 
@@ -159,17 +186,19 @@ mod tests {
         let c = calc();
         for pa in [0u8, 3, 7] {
             for pb in [0u8, 3, 7] {
-                let a = LineKey { addr: 0x100, pattern: PatternId(pa) };
+                let a = LineKey {
+                    addr: 0x100,
+                    pattern: PatternId(pa),
+                };
                 let wa = c.word_addresses(a, true);
                 for col in 0..16u64 {
-                    let b = LineKey { addr: col * 64, pattern: PatternId(pb) };
+                    let b = LineKey {
+                        addr: col * 64,
+                        pattern: PatternId(pb),
+                    };
                     let wb = c.word_addresses(b, true);
                     let share = wa.iter().any(|w| wb.contains(w));
-                    assert_eq!(
-                        c.overlaps(a, b, true),
-                        share,
-                        "a={a:?} b={b:?}"
-                    );
+                    assert_eq!(c.overlaps(a, b, true), share, "a={a:?} b={b:?}");
                 }
             }
         }
@@ -179,7 +208,10 @@ mod tests {
     fn rows_do_not_leak() {
         // Overlapping lines stay inside the row of the source line.
         let c = calc();
-        let key = LineKey { addr: 8192 + 0x40, pattern: PatternId(0) };
+        let key = LineKey {
+            addr: 8192 + 0x40,
+            pattern: PatternId(0),
+        };
         for l in c.overlapping_lines(key, PatternId(7), true) {
             assert!(l.addr >= 8192 && l.addr < 16384);
         }

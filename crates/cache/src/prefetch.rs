@@ -6,6 +6,8 @@
 //! direct-mapped on the load PC, tracking the last address and stride
 //! with a small confidence counter.
 
+use gsdram_core::stats::{ReportStats, StatsNode};
+
 /// One reference-prediction-table entry.
 #[derive(Debug, Clone, Copy)]
 struct Entry {
@@ -22,6 +24,14 @@ pub struct PrefetchStats {
     pub observations: u64,
     /// Prefetch addresses emitted.
     pub issued: u64,
+}
+
+impl ReportStats for PrefetchStats {
+    fn stats_node(&self, name: &str) -> StatsNode {
+        StatsNode::new(name)
+            .counter("observations", self.observations)
+            .counter("issued", self.issued)
+    }
 }
 
 /// A PC-indexed stride prefetcher with configurable degree.
@@ -105,7 +115,12 @@ impl StridePrefetcher {
                 }
             }
             _ => {
-                self.table[idx] = Some(Entry { pc, last_addr: addr, stride: 0, confidence: 0 });
+                self.table[idx] = Some(Entry {
+                    pc,
+                    last_addr: addr,
+                    stride: 0,
+                    confidence: 0,
+                });
             }
         }
         self.stats.issued += out.len() as u64;

@@ -76,7 +76,11 @@ impl EvictedSectors {
     /// Whether writing this line back needs a read-modify-write (dirty
     /// but not fully valid).
     pub fn needs_rmw(&self, words_per_line: u8) -> bool {
-        let full = if words_per_line == 8 { 0xff } else { (1u8 << words_per_line) - 1 };
+        let full = if words_per_line == 8 {
+            0xff
+        } else {
+            (1u8 << words_per_line) - 1
+        };
         self.dirty_mask != 0 && self.valid_mask != full
     }
 }
@@ -227,7 +231,12 @@ mod tests {
     use super::*;
 
     fn cache() -> SectoredCache {
-        SectoredCache::new(CacheConfig { size_bytes: 2048, assoc: 2, line_bytes: 64, latency: 1 })
+        SectoredCache::new(CacheConfig {
+            size_bytes: 2048,
+            assoc: 2,
+            line_bytes: 64,
+            latency: 1,
+        })
     }
 
     #[test]

@@ -1,12 +1,14 @@
 //! Model-based property tests: the set-associative cache against an
 //! abstract reference (per-set LRU lists over a key→data map), plus
-//! prefetcher and Dirty-Block-Index invariants.
+//! prefetcher and Dirty-Block-Index invariants. Cases come from a
+//! deterministic PRNG ([`gsdram_core::rng::SplitMix`]) instead of
+//! `proptest`, keeping the workspace dependency-free.
 
 use gsdram_cache::cache::{CacheConfig, LineKey, SetAssocCache};
 use gsdram_cache::dbi::DirtyBlockIndex;
 use gsdram_cache::prefetch::StridePrefetcher;
+use gsdram_core::rng::SplitMix;
 use gsdram_core::PatternId;
-use proptest::prelude::*;
 use std::collections::HashMap;
 
 /// The abstract cache: per-set most-recent-first key lists + contents.
@@ -18,7 +20,11 @@ struct RefCacheModel {
 
 impl RefCacheModel {
     fn new(cfg: CacheConfig) -> Self {
-        RefCacheModel { cfg, sets: vec![Vec::new(); cfg.sets()], data: HashMap::new() }
+        RefCacheModel {
+            cfg,
+            sets: vec![Vec::new(); cfg.sets()],
+            data: HashMap::new(),
+        }
     }
 
     fn set_of(&self, key: LineKey) -> usize {
@@ -64,50 +70,88 @@ impl RefCacheModel {
 
 #[derive(Debug, Clone)]
 enum CacheOp {
-    Probe { line: u8, pattern: bool, write: bool },
-    Fill { line: u8, pattern: bool },
-    Invalidate { line: u8, pattern: bool },
-    WriteData { line: u8, pattern: bool, value: u64 },
+    Probe {
+        line: u8,
+        pattern: bool,
+        write: bool,
+    },
+    Fill {
+        line: u8,
+        pattern: bool,
+    },
+    Invalidate {
+        line: u8,
+        pattern: bool,
+    },
+    WriteData {
+        line: u8,
+        pattern: bool,
+        value: u64,
+    },
 }
 
-fn ops() -> impl Strategy<Value = Vec<CacheOp>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (any::<u8>(), any::<bool>(), any::<bool>())
-                .prop_map(|(line, pattern, write)| CacheOp::Probe { line, pattern, write }),
-            (any::<u8>(), any::<bool>()).prop_map(|(line, pattern)| CacheOp::Fill { line, pattern }),
-            (any::<u8>(), any::<bool>())
-                .prop_map(|(line, pattern)| CacheOp::Invalidate { line, pattern }),
-            (any::<u8>(), any::<bool>(), any::<u64>())
-                .prop_map(|(line, pattern, value)| CacheOp::WriteData { line, pattern, value }),
-        ],
-        1..300,
-    )
+fn random_ops(rng: &mut SplitMix) -> Vec<CacheOp> {
+    let n = rng.range(1, 300) as usize;
+    (0..n)
+        .map(|_| {
+            let line = rng.below(256) as u8;
+            let pattern = rng.flip();
+            match rng.below(4) {
+                0 => CacheOp::Probe {
+                    line,
+                    pattern,
+                    write: rng.flip(),
+                },
+                1 => CacheOp::Fill { line, pattern },
+                2 => CacheOp::Invalidate { line, pattern },
+                _ => CacheOp::WriteData {
+                    line,
+                    pattern,
+                    value: rng.next_u64(),
+                },
+            }
+        })
+        .collect()
 }
 
 fn key_of(line: u8, pattern: bool) -> LineKey {
-    LineKey::new(line as u64 * 64, 64, if pattern { PatternId(7) } else { PatternId(0) })
+    LineKey::new(
+        line as u64 * 64,
+        64,
+        if pattern { PatternId(7) } else { PatternId(0) },
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The real cache behaves exactly like the abstract LRU model:
-    /// same hits, same eviction victims, same data, same dirty bits.
-    #[test]
-    fn cache_matches_reference_model(ops in ops()) {
+/// The real cache behaves exactly like the abstract LRU model: same
+/// hits, same eviction victims, same data, same dirty bits.
+#[test]
+fn cache_matches_reference_model() {
+    let mut rng = SplitMix(0xCAC1);
+    for case in 0..128 {
+        let ops = random_ops(&mut rng);
         // Tiny cache so evictions are frequent: 4 sets × 2 ways.
-        let cfg = CacheConfig { size_bytes: 512, assoc: 2, line_bytes: 64, latency: 1 };
+        let cfg = CacheConfig {
+            size_bytes: 512,
+            assoc: 2,
+            line_bytes: 64,
+            latency: 1,
+        };
         let mut real = SetAssocCache::new(cfg);
         let mut model = RefCacheModel::new(cfg);
         let mut fill_counter = 0u64;
         for op in ops {
             match op {
-                CacheOp::Probe { line, pattern, write } => {
+                CacheOp::Probe {
+                    line,
+                    pattern,
+                    write,
+                } => {
                     let key = key_of(line, pattern);
-                    let r = real.probe(key, write);
-                    let m = model.probe(key, write);
-                    prop_assert_eq!(r, m, "probe {:?}", key);
+                    assert_eq!(
+                        real.probe(key, write),
+                        model.probe(key, write),
+                        "probe {key:?}"
+                    );
                 }
                 CacheOp::Fill { line, pattern } => {
                     let key = key_of(line, pattern);
@@ -121,31 +165,40 @@ proptest! {
                     match (r, m) {
                         (None, None) => {}
                         (Some(re), Some((mk, mdirty, mdata))) => {
-                            prop_assert_eq!(re.key, mk, "victim identity");
-                            prop_assert_eq!(re.dirty, mdirty, "victim dirty bit");
-                            prop_assert_eq!(re.data, mdata, "victim data");
+                            assert_eq!(re.key, mk, "victim identity");
+                            assert_eq!(re.dirty, mdirty, "victim dirty bit");
+                            assert_eq!(re.data, mdata, "victim data");
                         }
-                        (r, m) => prop_assert!(false, "eviction mismatch: {:?} vs {:?}", r, m.map(|x| x.0)),
+                        (r, m) => {
+                            panic!(
+                                "case {case}: eviction mismatch: {r:?} vs {:?}",
+                                m.map(|x| x.0)
+                            )
+                        }
                     }
                 }
                 CacheOp::Invalidate { line, pattern } => {
                     let key = key_of(line, pattern);
                     let r = real.invalidate(key);
                     let m = model.invalidate(key);
-                    prop_assert_eq!(r.is_some(), m.is_some(), "invalidate {:?}", key);
+                    assert_eq!(r.is_some(), m.is_some(), "invalidate {key:?}");
                     if let (Some(re), Some((_, mdirty, mdata))) = (r, m) {
-                        prop_assert_eq!(re.dirty, mdirty);
-                        prop_assert_eq!(re.data, mdata);
+                        assert_eq!(re.dirty, mdirty);
+                        assert_eq!(re.data, mdata);
                     }
                 }
-                CacheOp::WriteData { line, pattern, value } => {
+                CacheOp::WriteData {
+                    line,
+                    pattern,
+                    value,
+                } => {
                     let key = key_of(line, pattern);
                     if let Some(d) = real.data_mut(key) {
                         d[3] = value;
                         model.data.get_mut(&key).expect("model resident").0[3] = value;
                         model.data.get_mut(&key).expect("model resident").1 = true;
                     } else {
-                        prop_assert!(!model.data.contains_key(&key));
+                        assert!(!model.data.contains_key(&key));
                     }
                 }
             }
@@ -153,49 +206,56 @@ proptest! {
             for l in 0..=255u8 {
                 for p in [false, true] {
                     let key = key_of(l, p);
-                    prop_assert_eq!(
+                    assert_eq!(
                         real.contains(key),
                         model.data.contains_key(&key),
-                        "residency of {:?}",
-                        key
+                        "residency of {key:?}"
                     );
                 }
             }
         }
         // Stats sanity: the cache never holds more lines than capacity.
         let cap = cfg.sets() * cfg.assoc;
-        prop_assert!(real.resident_keys().len() <= cap);
-        prop_assert_eq!(real.resident_keys().len(), model.data.len());
+        assert!(real.resident_keys().len() <= cap);
+        assert_eq!(real.resident_keys().len(), model.data.len());
     }
+}
 
-    /// Prefetcher never emits the line it was trained on, never emits
-    /// more than `degree` lines, and stays silent on zero strides.
-    #[test]
-    fn prefetcher_output_bounds(
-        pcs in proptest::collection::vec(0u64..8, 1..100),
-        strides in proptest::collection::vec(-512i64..512, 1..100),
-    ) {
+/// Prefetcher never emits the line it was trained on, never emits more
+/// than `degree` lines, and always emits line-aligned addresses.
+#[test]
+fn prefetcher_output_bounds() {
+    let mut rng = SplitMix(0xCAC2);
+    for _ in 0..128 {
+        let n = rng.range(1, 100) as usize;
         let mut p = StridePrefetcher::degree4();
         let mut addr: i64 = 1 << 20;
-        for (pc, stride) in pcs.iter().zip(&strides) {
+        for _ in 0..n {
+            let pc = rng.below(8);
+            let stride = rng.range_i64(-512, 512);
             addr = (addr + stride).max(0);
-            let out = p.observe(*pc, addr as u64);
-            prop_assert!(out.len() <= 4, "degree bound");
+            let out = p.observe(pc, addr as u64);
+            assert!(out.len() <= 4, "degree bound");
             let cur_line = (addr as u64) / 64 * 64;
-            prop_assert!(out.iter().all(|&a| a != cur_line), "self-prefetch");
-            prop_assert!(out.iter().all(|&a| a % 64 == 0), "line alignment");
+            assert!(out.iter().all(|&a| a != cur_line), "self-prefetch");
+            assert!(out.iter().all(|&a| a % 64 == 0), "line alignment");
         }
     }
+}
 
-    /// DBI: mark/clear tracks an exact reference set; row queries are
-    /// precise when maintained exactly.
-    #[test]
-    fn dbi_matches_reference_set(
-        ops in proptest::collection::vec((0u8..64, any::<bool>(), any::<bool>()), 1..200),
-    ) {
+/// DBI: mark/clear tracks an exact reference set; row queries are
+/// precise when maintained exactly.
+#[test]
+fn dbi_matches_reference_set() {
+    let mut rng = SplitMix(0xCAC3);
+    for _ in 0..128 {
+        let n = rng.range(1, 200) as usize;
         let mut dbi = DirtyBlockIndex::table1();
         let mut reference: std::collections::HashSet<LineKey> = Default::default();
-        for (line, pattern, dirty) in ops {
+        for _ in 0..n {
+            let line = rng.below(64) as u8;
+            let pattern = rng.flip();
+            let dirty = rng.flip();
             let key = key_of(line, pattern);
             if dirty {
                 dbi.mark_dirty(key);
@@ -204,12 +264,12 @@ proptest! {
                 dbi.mark_clean(key);
                 reference.remove(&key);
             }
-            prop_assert_eq!(dbi.may_be_dirty(key), reference.contains(&key));
+            assert_eq!(dbi.may_be_dirty(key), reference.contains(&key));
         }
         // Row-level query agrees with the reference per pattern.
         for p in [PatternId(0), PatternId(7)] {
             let any_ref = reference.iter().any(|k| k.pattern == p && k.addr < 8192);
-            prop_assert_eq!(dbi.row_has_dirty(0, p), any_ref, "{:?}", p);
+            assert_eq!(dbi.row_has_dirty(0, p), any_ref, "{p:?}");
         }
     }
 }

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! gsdram-sim <workload> [options]
+//! gsdram-sim sweep <experiment> [--serial] [--threads N] [--json PATH]
+//! gsdram-sim sweep --list
 //!
 //! Workloads:
 //!   transactions   DB transactions (--layout, --txns, --mix r-w-rw)
@@ -11,66 +13,41 @@
 //!   kvstore        key-value lookups/inserts (--layout plain|gs)
 //!   graph          node scans/updates (--layout plain|gs)
 //!   replay         replay a trace (--file T [--alloc BYTES --pattern P])
+//!   sweep          run a registered experiment (fig9, fig13, ...) in
+//!                  parallel; --serial / --threads N control execution,
+//!                  --json PATH writes the full stats tree
 //!
 //! Common options:
 //!   --tuples N     table/node/pair count        (default 65536)
 //!   --prefetch     enable the stride prefetcher
 //!   --impulse      Impulse-style gather baseline
 //!   --fcfs         FCFS scheduling instead of FR-FCFS
+//!   --closed-row   closed-row buffer management
 //!   --ranks N      DRAM ranks                   (default 1)
 //!   --channels N   DRAM channels                (default 1)
 //!   --seed N       workload RNG seed            (default 42)
+//!   --json PATH    write the run's stats tree as JSON
 //! ```
 
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
-use gsdram_dram::controller::SchedPolicy;
+use gsdram_bench::args::Args;
+use gsdram_bench::experiments;
+use gsdram_bench::spec::MachineSpec;
+use gsdram_core::stats::ReportStats;
 use gsdram_system::config::SystemConfig;
 use gsdram_system::machine::{Machine, RunReport, StopWhen};
 use gsdram_system::ops::Program;
+use gsdram_system::trace::{TraceRecorder, TraceReplayer};
 use gsdram_workloads::gemm::{program as gemm_program, Gemm, GemmVariant};
 use gsdram_workloads::graph::{scan as graph_scan, updates as graph_updates, Graph, GraphLayout};
 use gsdram_workloads::imdb::{analytics, transactions, Layout, Table, TxnSpec};
 use gsdram_workloads::kvstore::{inserts, lookups, KvLayout, KvStore};
-use gsdram_system::trace::{TraceRecorder, TraceReplayer};
-use std::fs::File;
-use std::io::{BufReader, BufWriter};
 
-fn arg_value(name: &str) -> Option<String> {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == name {
-            return args.next();
-        }
-    }
-    None
-}
-
-fn arg_u64(name: &str, default: u64) -> u64 {
-    arg_value(name).and_then(|v| v.parse().ok()).unwrap_or(default)
-}
-
-fn arg_flag(name: &str) -> bool {
-    std::env::args().any(|a| a == name)
-}
-
-fn build_config(cores: usize, mem: usize) -> SystemConfig {
-    let mut cfg = SystemConfig::table1(cores, mem);
-    if arg_flag("--prefetch") {
-        cfg = cfg.with_prefetch();
-    }
-    if arg_flag("--impulse") {
-        cfg = cfg.with_impulse();
-    }
-    if arg_flag("--fcfs") {
-        cfg.controller.policy = SchedPolicy::Fcfs;
-    }
-    cfg.with_ranks(arg_u64("--ranks", 1) as usize)
-        .with_channels(arg_u64("--channels", 1) as usize)
-}
-
-fn db_layout() -> Layout {
-    match arg_value("--layout").as_deref() {
+fn db_layout(args: &Args) -> Layout {
+    match args.value("--layout").as_deref() {
         Some("row") => Layout::RowStore,
         Some("column") => Layout::ColumnStore,
         _ => Layout::GsDram,
@@ -79,7 +56,12 @@ fn db_layout() -> Layout {
 
 fn print_report(name: &str, r: &RunReport, cfg: &SystemConfig) {
     println!("== {name} ==");
-    println!("cycles            {:>14}  ({:.3} ms at {} GHz)", r.cpu_cycles, r.seconds(cfg) * 1e3, cfg.cpu_ghz);
+    println!(
+        "cycles            {:>14}  ({:.3} ms at {} GHz)",
+        r.cpu_cycles,
+        r.seconds(cfg) * 1e3,
+        cfg.cpu_ghz
+    );
     println!("operations        {:>14}  (memory: {})", r.ops, r.mem_ops);
     for (i, l1) in r.l1.iter().enumerate() {
         println!(
@@ -111,10 +93,26 @@ fn print_report(name: &str, r: &RunReport, cfg: &SystemConfig) {
     println!("results           {:?}", r.results);
 }
 
+/// Writes the report's stats tree to `--json <path>` when requested.
+fn maybe_write_json(args: &Args, name: &str, r: &RunReport) -> Result<(), String> {
+    let Some(path) = args.value("--json") else {
+        return Ok(());
+    };
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+        }
+    }
+    let node = r.stats_node(name);
+    std::fs::write(&path, node.to_json_pretty()).map_err(|e| format!("write {path}: {e}"))?;
+    println!("wrote {path}");
+    Ok(())
+}
+
 /// Runs a single program, optionally teeing its op stream into the
 /// file given by `--record`.
-fn run_single(m: &mut Machine, p: &mut dyn Program) -> RunReport {
-    if let Some(path) = arg_value("--record") {
+fn run_single(args: &Args, m: &mut Machine, p: &mut dyn Program) -> RunReport {
+    if let Some(path) = args.value("--record") {
         let out = BufWriter::new(File::create(&path).expect("create trace file"));
         let mut rec = TraceRecorder::new(Forward(p), out);
         let r = {
@@ -146,108 +144,210 @@ impl Program for Forward<'_> {
     }
 }
 
+fn sweep(args: &Args) -> ExitCode {
+    if args.flag("--list") {
+        println!("registered experiments:");
+        for def in experiments::REGISTRY {
+            println!("  {:<22} {}", def.name, def.title);
+        }
+        return ExitCode::SUCCESS;
+    }
+    // `sweep` is the first positional; the experiment name is the next.
+    let name = {
+        let mut seen_sweep = false;
+        let mut found = None;
+        let probe = args.raw().to_vec();
+        let mut it = probe.iter();
+        while let Some(a) = it.next() {
+            if a.starts_with("--") {
+                if !matches!(
+                    a.as_str(),
+                    "--prefetch"
+                        | "--impulse"
+                        | "--fcfs"
+                        | "--closed-row"
+                        | "--full"
+                        | "--serial"
+                        | "--list"
+                        | "--quiet"
+                ) {
+                    it.next();
+                }
+            } else if !seen_sweep {
+                seen_sweep = true;
+            } else {
+                found = Some(a.clone());
+                break;
+            }
+        }
+        found
+    };
+    let Some(name) = name else {
+        eprintln!("usage: gsdram-sim sweep <experiment> [--serial] [--threads N] [--json PATH]");
+        eprintln!("       gsdram-sim sweep --list");
+        return ExitCode::FAILURE;
+    };
+    match experiments::run_named(&name, args) {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
-    let Some(workload) = std::env::args().nth(1) else {
-        eprintln!("usage: gsdram-sim <transactions|analytics|htap|gemm|kvstore|graph|replay> [options]");
+    let args = Args::from_env();
+    let Some(workload) = args.positional().map(str::to_owned) else {
+        eprintln!(
+            "usage: gsdram-sim <transactions|analytics|htap|gemm|kvstore|graph|replay|sweep> [options]"
+        );
         eprintln!("run with a workload name; see crate docs for options");
         return ExitCode::FAILURE;
     };
-    let tuples = arg_u64("--tuples", 65_536);
-    let seed = arg_u64("--seed", 42);
+    if workload == "sweep" {
+        return sweep(&args);
+    }
+    let tuples = args.u64("--tuples", 65_536);
+    let seed = args.u64("--seed", 42);
     let mem = (tuples as usize * 64 * 2).max(16 << 20);
+    // The one machine-flag parser shared with the experiment engine
+    // (--prefetch, --impulse, --fcfs, --closed-row, --ranks, --channels).
+    let machine = |cores: usize, mem: usize| MachineSpec::table1(cores, mem).with_args(&args);
 
     match workload.as_str() {
         "transactions" => {
-            let mix = arg_value("--mix").unwrap_or_else(|| "1-0-1".into());
+            let mix = args.value("--mix").unwrap_or_else(|| "1-0-1".into());
             let parts: Vec<usize> = mix.split('-').filter_map(|x| x.parse().ok()).collect();
             if parts.len() != 3 || parts.iter().sum::<usize>() > 8 {
                 eprintln!("--mix must be r-w-rw with at most 8 total fields");
                 return ExitCode::FAILURE;
             }
-            let spec = TxnSpec { read_only: parts[0], write_only: parts[1], read_write: parts[2] };
-            let cfg = build_config(1, mem);
-            let mut m = Machine::new(cfg);
-            let table = Table::create(&mut m, db_layout(), tuples);
-            let mut p = transactions(table, spec, arg_u64("--txns", 10_000), seed);
-            let r = run_single(&mut m, &mut p);
-            print_report(&format!("transactions {} {}", db_layout().label(), spec.label()), &r, m.config());
+            let spec = TxnSpec {
+                read_only: parts[0],
+                write_only: parts[1],
+                read_write: parts[2],
+            };
+            let mut m = machine(1, mem).build();
+            let table = Table::create(&mut m, db_layout(&args), tuples);
+            let mut p = transactions(table, spec, args.u64("--txns", 10_000), seed);
+            let r = run_single(&args, &mut m, &mut p);
+            let name = format!("transactions {} {}", db_layout(&args).label(), spec.label());
+            print_report(&name, &r, m.config());
+            if let Err(e) = maybe_write_json(&args, "transactions", &r) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         }
         "analytics" => {
-            let k = arg_u64("--columns", 1) as usize;
+            let k = args.u64("--columns", 1) as usize;
             let columns: Vec<usize> = (0..k.min(8)).collect();
-            let cfg = build_config(1, mem);
-            let mut m = Machine::new(cfg);
-            let table = Table::create(&mut m, db_layout(), tuples);
+            let mut m = machine(1, mem).build();
+            let table = Table::create(&mut m, db_layout(&args), tuples);
             let mut p = analytics(table, &columns);
-            let r = run_single(&mut m, &mut p);
-            let want: u64 = columns.iter().fold(0u64, |a, &f| a.wrapping_add(table.expected_column_sum(f)));
+            let r = run_single(&args, &mut m, &mut p);
+            let want: u64 = columns
+                .iter()
+                .fold(0u64, |a, &f| a.wrapping_add(table.expected_column_sum(f)));
             assert_eq!(r.results[0], want, "column sum mismatch — simulator bug");
-            print_report(&format!("analytics {} k={k}", db_layout().label()), &r, m.config());
+            print_report(
+                &format!("analytics {} k={k}", db_layout(&args).label()),
+                &r,
+                m.config(),
+            );
+            if let Err(e) = maybe_write_json(&args, "analytics", &r) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         }
         "htap" => {
-            let cfg = build_config(2, mem);
-            let mut m = Machine::new(cfg);
-            let table = Table::create(&mut m, db_layout(), tuples);
+            let mut m = machine(2, mem).build();
+            let table = Table::create(&mut m, db_layout(&args), tuples);
             let mut anal = analytics(table, &[0]);
-            let spec = TxnSpec { read_only: 1, write_only: 1, read_write: 0 };
+            let spec = TxnSpec {
+                read_only: 1,
+                write_only: 1,
+                read_write: 0,
+            };
             let mut txn = transactions(table, spec, u64::MAX, seed);
             let r = {
                 let mut programs: Vec<&mut dyn Program> = vec![&mut anal, &mut txn];
                 m.run(&mut programs, StopWhen::CoreDone(0))
             };
             let thr = r.progress[1] as f64 / r.seconds(m.config()) / 1e6;
-            print_report(&format!("htap {}", db_layout().label()), &r, m.config());
+            print_report(
+                &format!("htap {}", db_layout(&args).label()),
+                &r,
+                m.config(),
+            );
             println!("txn throughput    {thr:>14.2} M/s");
+            if let Err(e) = maybe_write_json(&args, "htap", &r) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         }
         "gemm" => {
-            let n = arg_u64("--n", 128) as usize;
-            let tile = arg_u64("--tile", 32) as usize;
-            let variant = match arg_value("--variant").as_deref() {
+            let n = args.u64("--n", 128) as usize;
+            let tile = args.u64("--tile", 32) as usize;
+            let variant = match args.value("--variant").as_deref() {
                 Some("naive") => GemmVariant::Naive,
                 Some("tiled") => GemmVariant::Tiled { tile },
                 Some("simd") => GemmVariant::TiledSimd { tile },
                 _ => GemmVariant::GsDram { tile },
             };
             let mem = (3 * n * n * 8 * 2).max(16 << 20);
-            let cfg = build_config(1, mem);
-            let mut m = Machine::new(cfg);
+            let mut m = machine(1, mem).build();
             let g = Gemm::create(&mut m, n, variant);
             g.init(&mut m);
             let (mut p, scale) = gemm_program(g, None);
-            let r = run_single(&mut m, &mut p);
+            let r = run_single(&args, &mut m, &mut p);
             print_report(&format!("gemm {} n={n}", variant.label()), &r, m.config());
             if scale != 1.0 {
                 println!("(sampled; scale {scale})");
             }
+            if let Err(e) = maybe_write_json(&args, "gemm", &r) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         }
         "kvstore" => {
-            let layout = match arg_value("--layout").as_deref() {
+            let layout = match args.value("--layout").as_deref() {
                 Some("plain") => KvLayout::Interleaved,
                 _ => KvLayout::GsDram,
             };
-            let cfg = build_config(1, mem);
-            let mut m = Machine::new(cfg);
+            let mut m = machine(1, mem).build();
             let kv = KvStore::create(&mut m, layout, tuples);
-            let mut p = lookups(kv, tuples / 2, arg_u64("--lookups", 64), seed);
-            let r = run_single(&mut m, &mut p);
-            print_report(&format!("kvstore lookups {}", layout.label()), &r, m.config());
-            let mut p = inserts(kv, arg_u64("--inserts", 2000), seed);
-            let r = run_single(&mut m, &mut p);
-            print_report(&format!("kvstore inserts {}", layout.label()), &r, m.config());
+            let mut p = lookups(kv, tuples / 2, args.u64("--lookups", 64), seed);
+            let r = run_single(&args, &mut m, &mut p);
+            print_report(
+                &format!("kvstore lookups {}", layout.label()),
+                &r,
+                m.config(),
+            );
+            let mut p = inserts(kv, args.u64("--inserts", 2000), seed);
+            let r = run_single(&args, &mut m, &mut p);
+            print_report(
+                &format!("kvstore inserts {}", layout.label()),
+                &r,
+                m.config(),
+            );
+            if let Err(e) = maybe_write_json(&args, "kvstore", &r) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         }
         "replay" => {
             // Replay a trace recorded with --record. The machine must be
             // given the same allocation the recording run had:
             // --alloc BYTES [--pattern P] recreates one pattmalloc
             // region at the deterministic base address.
-            let Some(path) = arg_value("--file") else {
+            let Some(path) = args.value("--file") else {
                 eprintln!("replay needs --file <trace>");
                 return ExitCode::FAILURE;
             };
-            let cfg = build_config(1, mem);
-            let mut m = Machine::new(cfg);
-            let alloc = arg_u64("--alloc", tuples * 64);
-            let pattern = gsdram_core::PatternId(arg_u64("--pattern", 7) as u8);
+            let mut m = machine(1, mem).build();
+            let alloc = args.u64("--alloc", tuples * 64);
+            let pattern = gsdram_core::PatternId(args.u64("--pattern", 7) as u8);
             m.pattmalloc(alloc, true, pattern);
             let file = BufReader::new(match File::open(&path) {
                 Ok(f) => f,
@@ -261,22 +361,33 @@ fn main() -> ExitCode {
                 let mut programs: Vec<&mut dyn Program> = vec![&mut p];
                 m.run(&mut programs, StopWhen::AllDone)
             };
-            print_report(&format!("replay {path} ({} ops)", p.ops_replayed()), &r, m.config());
+            print_report(
+                &format!("replay {path} ({} ops)", p.ops_replayed()),
+                &r,
+                m.config(),
+            );
+            if let Err(e) = maybe_write_json(&args, "replay", &r) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         }
         "graph" => {
-            let layout = match arg_value("--layout").as_deref() {
+            let layout = match args.value("--layout").as_deref() {
                 Some("plain") => GraphLayout::NodeMajor,
                 _ => GraphLayout::GsDram,
             };
-            let cfg = build_config(1, mem);
-            let mut m = Machine::new(cfg);
+            let mut m = machine(1, mem).build();
             let g = Graph::create(&mut m, layout, tuples);
             let mut p = graph_scan(g, 0);
-            let r = run_single(&mut m, &mut p);
+            let r = run_single(&args, &mut m, &mut p);
             print_report(&format!("graph scan {}", layout.label()), &r, m.config());
-            let mut p = graph_updates(g, arg_u64("--updates", 2000), seed);
-            let r = run_single(&mut m, &mut p);
+            let mut p = graph_updates(g, args.u64("--updates", 2000), seed);
+            let r = run_single(&args, &mut m, &mut p);
             print_report(&format!("graph updates {}", layout.label()), &r, m.config());
+            if let Err(e) = maybe_write_json(&args, "graph", &r) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         }
         other => {
             eprintln!("unknown workload '{other}'");

@@ -42,7 +42,12 @@ pub fn chip_conflicts(cfg: &GsDramConfig, scheme: MappingScheme, elements: &[usi
         };
         per_chip[chip] += 1;
     }
-    per_chip.iter().max().copied().unwrap_or(0).saturating_sub(1)
+    per_chip
+        .iter()
+        .max()
+        .copied()
+        .unwrap_or(0)
+        .saturating_sub(1)
 }
 
 /// Number of READ commands required to gather one cache line's worth of a

@@ -157,11 +157,7 @@ impl Geometry {
     /// `cols_per_row` must be a power of two at least `2^pattern_bits`
     /// (column translation XORs the low pattern bits of the column
     /// address, which must not escape the row); `rows` must be nonzero.
-    pub fn new(
-        cfg: &GsDramConfig,
-        rows: usize,
-        cols_per_row: usize,
-    ) -> Result<Self, ConfigError> {
+    pub fn new(cfg: &GsDramConfig, rows: usize, cols_per_row: usize) -> Result<Self, ConfigError> {
         let min = 1usize << cfg.pattern_bits();
         if !cols_per_row.is_power_of_two() || cols_per_row < min {
             return Err(ConfigError::BadColumnsPerRow {
@@ -233,7 +229,10 @@ mod tests {
     fn rejects_too_many_stages() {
         assert!(matches!(
             GsDramConfig::new(4, 3, 2),
-            Err(ConfigError::TooManyShuffleStages { stages: 3, chips: 4 })
+            Err(ConfigError::TooManyShuffleStages {
+                stages: 3,
+                chips: 4
+            })
         ));
         assert!(GsDramConfig::new(4, 2, 2).is_ok());
     }

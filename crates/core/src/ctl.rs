@@ -172,7 +172,11 @@ mod tests {
     #[test]
     fn non_column_commands_pass_through() {
         let ctl = ColumnTranslationLogic::new(ChipId(5), 3);
-        for cmd in [CommandKind::Activate, CommandKind::Precharge, CommandKind::Refresh] {
+        for cmd in [
+            CommandKind::Activate,
+            CommandKind::Precharge,
+            CommandKind::Refresh,
+        ] {
             assert_eq!(
                 ctl.translate(cmd, PatternId(7), ColumnId(9)),
                 ColumnId(9),

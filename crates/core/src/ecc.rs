@@ -138,14 +138,19 @@ pub struct ProtectedLine {
 impl ProtectedLine {
     /// Whether every word decoded cleanly or was corrected.
     pub fn is_usable(&self) -> bool {
-        self.outcomes.iter().all(|o| !matches!(o, Decode::DoubleError))
+        self.outcomes
+            .iter()
+            .all(|o| !matches!(o, Decode::DoubleError))
     }
 }
 
 impl EccModule {
     /// A zeroed ECC module.
     pub fn new(cfg: GsDramConfig, geom: Geometry) -> Self {
-        EccModule { data: GsModule::new(cfg.clone(), geom), ecc: GsModule::new(cfg, geom) }
+        EccModule {
+            data: GsModule::new(cfg.clone(), geom),
+            ecc: GsModule::new(cfg, geom),
+        }
     }
 
     /// The module's configuration.
@@ -199,7 +204,10 @@ impl EccModule {
                 Decode::DoubleError => *w,
             })
             .collect();
-        Ok(ProtectedLine { data: corrected, outcomes })
+        Ok(ProtectedLine {
+            data: corrected,
+            outcomes,
+        })
     }
 
     /// Flips `bits` of the stored word backing the `word`-th slot of the
@@ -232,8 +240,13 @@ impl EccModule {
             } else {
                 s.chip as usize
             };
-        let v = self.data.read_element(row, element, shuffled).expect("in range");
-        self.data.write_element(row, element, shuffled, v ^ bits).expect("in range");
+        let v = self
+            .data
+            .read_element(row, element, shuffled)
+            .expect("in range");
+        self.data
+            .write_element(row, element, shuffled, v ^ bits)
+            .expect("in range");
     }
 }
 
@@ -291,7 +304,8 @@ mod tests {
         let mut m = EccModule::new(cfg, geom);
         for col in 0..16u32 {
             let line: Vec<u64> = (0..8).map(|w| col as u64 * 100 + w).collect();
-            m.write_line(RowId(0), ColumnId(col), PatternId(0), true, &line).unwrap();
+            m.write_line(RowId(0), ColumnId(col), PatternId(0), true, &line)
+                .unwrap();
         }
         m
     }
@@ -301,7 +315,9 @@ mod tests {
         let m = module();
         for p in 0..8u8 {
             for c in 0..16u32 {
-                let line = m.read_line(RowId(0), ColumnId(c), PatternId(p), true).unwrap();
+                let line = m
+                    .read_line(RowId(0), ColumnId(c), PatternId(p), true)
+                    .unwrap();
                 assert!(line.is_usable(), "pattern {p} col {c}");
                 assert!(line.outcomes.iter().all(|o| matches!(o, Decode::Clean(_))));
             }
@@ -313,7 +329,9 @@ mod tests {
         let mut m = module();
         // Flip one bit under word 3 of the (pattern 7, col 0) gather.
         m.inject_data_error(RowId(0), ColumnId(0), PatternId(7), true, 3, 1 << 17);
-        let line = m.read_line(RowId(0), ColumnId(0), PatternId(7), true).unwrap();
+        let line = m
+            .read_line(RowId(0), ColumnId(0), PatternId(7), true)
+            .unwrap();
         assert!(line.is_usable());
         assert!(matches!(line.outcomes[3], Decode::Corrected(_)));
         // The corrected value equals the pattern-0 ground truth.
@@ -325,24 +343,42 @@ mod tests {
     fn double_fault_detected_in_a_gather() {
         let mut m = module();
         m.inject_data_error(RowId(0), ColumnId(2), PatternId(3), true, 5, 0b11);
-        let line = m.read_line(RowId(0), ColumnId(2), PatternId(3), true).unwrap();
+        let line = m
+            .read_line(RowId(0), ColumnId(2), PatternId(3), true)
+            .unwrap();
         assert!(!line.is_usable());
         assert_eq!(line.outcomes[5], Decode::DoubleError);
         // The other seven words are untouched.
-        assert!(line.outcomes.iter().filter(|o| matches!(o, Decode::Clean(_))).count() == 7);
+        assert!(
+            line.outcomes
+                .iter()
+                .filter(|o| matches!(o, Decode::Clean(_)))
+                .count()
+                == 7
+        );
     }
 
     #[test]
     fn pattern_scatter_updates_check_bytes() {
         let mut m = module();
-        m.write_line(RowId(0), ColumnId(0), PatternId(7), true, &[9, 8, 7, 6, 5, 4, 3, 2])
-            .unwrap();
+        m.write_line(
+            RowId(0),
+            ColumnId(0),
+            PatternId(7),
+            true,
+            &[9, 8, 7, 6, 5, 4, 3, 2],
+        )
+        .unwrap();
         // Both the scattered view and the tuple view verify cleanly.
-        let gathered = m.read_line(RowId(0), ColumnId(0), PatternId(7), true).unwrap();
+        let gathered = m
+            .read_line(RowId(0), ColumnId(0), PatternId(7), true)
+            .unwrap();
         assert_eq!(gathered.data, vec![9, 8, 7, 6, 5, 4, 3, 2]);
         assert!(gathered.is_usable());
         for c in 0..8u32 {
-            let tuple = m.read_line(RowId(0), ColumnId(c), PatternId(0), true).unwrap();
+            let tuple = m
+                .read_line(RowId(0), ColumnId(c), PatternId(0), true)
+                .unwrap();
             assert!(tuple.is_usable(), "tuple {c}");
         }
     }

@@ -126,9 +126,15 @@ mod tests {
 
     #[test]
     fn errors_display_meaningful_text() {
-        let e = ConfigError::TooManyShuffleStages { stages: 4, chips: 8 };
+        let e = ConfigError::TooManyShuffleStages {
+            stages: 4,
+            chips: 8,
+        };
         assert!(e.to_string().contains("4 shuffle stages"));
-        let e = AccessError::PatternTooWide { pattern: 9, bits: 3 };
+        let e = AccessError::PatternTooWide {
+            pattern: 9,
+            bits: 3,
+        };
         assert!(e.to_string().contains("pattern 9"));
     }
 

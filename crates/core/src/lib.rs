@@ -57,7 +57,9 @@ mod ids;
 pub mod mat;
 mod module;
 pub mod plan;
+pub mod rng;
 pub mod shuffle;
+pub mod stats;
 
 pub use config::{Geometry, GsDramConfig};
 pub use error::{AccessError, ConfigError};

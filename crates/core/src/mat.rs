@@ -78,7 +78,11 @@ impl IntraChipCtl {
         for (t, tile_col) in self.tile_columns(pattern, col).iter().enumerate() {
             let word = row(*tile_col);
             let shift = (t * bpt * 8) as u32;
-            let mask = if bpt == 8 { u64::MAX } else { ((1u64 << (bpt * 8)) - 1) << shift };
+            let mask = if bpt == 8 {
+                u64::MAX
+            } else {
+                ((1u64 << (bpt * 8)) - 1) << shift
+            };
             out |= word & mask;
         }
         out

@@ -324,7 +324,10 @@ impl GsModule {
 
     fn chip_of(&self, col: ColumnId, word: usize, shuffled: bool) -> usize {
         if shuffled {
-            let control = self.cfg.shuffle_fn().control(col, self.cfg.shuffle_stages());
+            let control = self
+                .cfg
+                .shuffle_fn()
+                .control(col, self.cfg.shuffle_stages());
             word ^ control as usize
         } else {
             word
@@ -395,7 +398,9 @@ mod tests {
         let line = vec![11, 22, 33, 44];
         m.write_line(RowId(1), ColumnId(5), PatternId(0), true, &line)
             .unwrap();
-        let back = m.read_line(RowId(1), ColumnId(5), PatternId(0), true).unwrap();
+        let back = m
+            .read_line(RowId(1), ColumnId(5), PatternId(0), true)
+            .unwrap();
         assert_eq!(back, line);
     }
 
@@ -405,15 +410,33 @@ mod tests {
         // elements landed at strided positions readable via pattern 0.
         let mut m = module_4_2_2();
         fill_row(&mut m, RowId(0));
-        m.write_line(RowId(0), ColumnId(0), PatternId(3), true, &[100, 104, 108, 112])
-            .unwrap();
+        m.write_line(
+            RowId(0),
+            ColumnId(0),
+            PatternId(3),
+            true,
+            &[100, 104, 108, 112],
+        )
+        .unwrap();
         assert_eq!(
-            m.read_line(RowId(0), ColumnId(0), PatternId(3), true).unwrap(),
+            m.read_line(RowId(0), ColumnId(0), PatternId(3), true)
+                .unwrap(),
             vec![100, 104, 108, 112]
         );
         // Elements 0,4,8,12 were rewritten; their neighbours untouched.
-        for (e, want) in [(0usize, 100u64), (4, 104), (8, 108), (12, 112), (1, 1), (5, 5)] {
-            assert_eq!(m.read_element(RowId(0), e, true).unwrap(), want, "element {e}");
+        for (e, want) in [
+            (0usize, 100u64),
+            (4, 104),
+            (8, 108),
+            (12, 112),
+            (1, 1),
+            (5, 5),
+        ] {
+            assert_eq!(
+                m.read_element(RowId(0), e, true).unwrap(),
+                want,
+                "element {e}"
+            );
         }
     }
 
@@ -424,7 +447,9 @@ mod tests {
             m.write_element(RowId(0), e, true, 1000 + e as u64).unwrap();
         }
         for col in 0..4u32 {
-            let line = m.read_line(RowId(0), ColumnId(col), PatternId(0), true).unwrap();
+            let line = m
+                .read_line(RowId(0), ColumnId(col), PatternId(0), true)
+                .unwrap();
             let want: Vec<u64> = (0..4).map(|w| 1000 + col as u64 * 4 + w).collect();
             assert_eq!(line, want);
         }
@@ -437,7 +462,8 @@ mod tests {
         m.write_line(RowId(0), ColumnId(3), PatternId(0), false, &line)
             .unwrap();
         assert_eq!(
-            m.read_line(RowId(0), ColumnId(3), PatternId(0), false).unwrap(),
+            m.read_line(RowId(0), ColumnId(3), PatternId(0), false)
+                .unwrap(),
             line
         );
     }
@@ -482,12 +508,18 @@ mod tests {
         ));
         assert!(matches!(
             m.read_line(RowId(0), ColumnId(0), PatternId(4), true),
-            Err(AccessError::PatternTooWide { pattern: 4, bits: 2 })
+            Err(AccessError::PatternTooWide {
+                pattern: 4,
+                bits: 2
+            })
         ));
         let mut m = module_4_2_2();
         assert!(matches!(
             m.write_line(RowId(0), ColumnId(0), PatternId(0), true, &[1, 2]),
-            Err(AccessError::WrongLineLength { got: 2, expected: 4 })
+            Err(AccessError::WrongLineLength {
+                got: 2,
+                expected: 4
+            })
         ));
     }
 

@@ -110,14 +110,21 @@ pub fn plan_stride(
                 .map(|(w, e)| (w, *e))
                 .collect();
             let score = useful.len();
-            let candidate = PlannedAccess { pattern, col, useful };
+            let candidate = PlannedAccess {
+                pattern,
+                col,
+                useful,
+            };
             match &best {
                 Some((s, _)) if *s >= score => {}
                 _ => best = Some((score, candidate)),
             }
         }
         let (_, access) = best.expect("at least pattern 0 exists");
-        debug_assert!(!access.useful.is_empty(), "chosen line must cover the cursor");
+        debug_assert!(
+            !access.useful.is_empty(),
+            "chosen line must cover the cursor"
+        );
         for &(_, e) in &access.useful {
             wanted[e] = false;
             remaining -= 1;
@@ -154,7 +161,10 @@ mod tests {
     }
 
     fn covered(plan: &[PlannedAccess]) -> Vec<usize> {
-        let mut e: Vec<usize> = plan.iter().flat_map(|p| p.useful.iter().map(|u| u.1)).collect();
+        let mut e: Vec<usize> = plan
+            .iter()
+            .flat_map(|p| p.useful.iter().map(|u| u.1))
+            .collect();
         e.sort_unstable();
         e
     }
@@ -167,7 +177,10 @@ mod tests {
             let stats = plan_stats(&cfg, &plan);
             assert_eq!(stats.commands, 64 / 8, "stride {stride}");
             assert!((stats.efficiency() - 1.0).abs() < 1e-12, "stride {stride}");
-            assert_eq!(covered(&plan), (0..64).map(|i| i * stride).collect::<Vec<_>>());
+            assert_eq!(
+                covered(&plan),
+                (0..64).map(|i| i * stride).collect::<Vec<_>>()
+            );
         }
     }
 
@@ -244,9 +257,17 @@ mod tests {
 
     #[test]
     fn stats_arithmetic() {
-        let s = PlanStats { commands: 4, useful_words: 16, total_words: 32 };
+        let s = PlanStats {
+            commands: 4,
+            useful_words: 16,
+            total_words: 32,
+        };
         assert!((s.efficiency() - 0.5).abs() < 1e-12);
-        let z = PlanStats { commands: 0, useful_words: 0, total_words: 0 };
+        let z = PlanStats {
+            commands: 0,
+            useful_words: 0,
+            total_words: 0,
+        };
         assert_eq!(z.efficiency(), 0.0);
     }
 }

@@ -86,7 +86,10 @@ impl ShuffleFn {
 /// `log2(line.len())` — both are enforced earlier by
 /// [`crate::GsDramConfig`] validation.
 pub fn shuffle_line(line: &mut [u64], stages: u8, control: u8) {
-    assert!(line.len().is_power_of_two(), "line length must be a power of two");
+    assert!(
+        line.len().is_power_of_two(),
+        "line length must be a power of two"
+    );
     assert!(
         (stages as u32) <= line.len().trailing_zeros(),
         "more stages than log2(line length)"

@@ -249,15 +249,26 @@ mod tests {
     }
 
     fn act(bank: BankId, row: u32) -> DramCommand {
-        DramCommand::Activate { bank, row: RowId(row) }
+        DramCommand::Activate {
+            bank,
+            row: RowId(row),
+        }
     }
 
     fn read(bank: BankId, col: u32) -> DramCommand {
-        DramCommand::Read { bank, col: ColumnId(col), pattern: PatternId(0) }
+        DramCommand::Read {
+            bank,
+            col: ColumnId(col),
+            pattern: PatternId(0),
+        }
     }
 
     fn write(bank: BankId, col: u32) -> DramCommand {
-        DramCommand::Write { bank, col: ColumnId(col), pattern: PatternId(0) }
+        DramCommand::Write {
+            bank,
+            col: ColumnId(col),
+            pattern: PatternId(0),
+        }
     }
 
     #[test]

@@ -84,7 +84,11 @@ mod tests {
     #[test]
     fn bank_extraction() {
         assert_eq!(
-            DramCommand::Activate { bank: 3, row: RowId(7) }.bank(),
+            DramCommand::Activate {
+                bank: 3,
+                row: RowId(7)
+            }
+            .bank(),
             Some(3)
         );
         assert_eq!(DramCommand::Refresh.bank(), None);
@@ -92,8 +96,18 @@ mod tests {
 
     #[test]
     fn column_classification() {
-        assert!(DramCommand::Read { bank: 0, col: ColumnId(0), pattern: PatternId(0) }.is_column());
-        assert!(DramCommand::Write { bank: 0, col: ColumnId(0), pattern: PatternId(3) }.is_column());
+        assert!(DramCommand::Read {
+            bank: 0,
+            col: ColumnId(0),
+            pattern: PatternId(0)
+        }
+        .is_column());
+        assert!(DramCommand::Write {
+            bank: 0,
+            col: ColumnId(0),
+            pattern: PatternId(3)
+        }
+        .is_column());
         assert!(!DramCommand::Precharge { bank: 0 }.is_column());
         assert!(!DramCommand::Refresh.is_column());
     }

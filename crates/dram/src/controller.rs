@@ -19,6 +19,7 @@ use crate::command::DramCommand;
 use crate::energy::{EnergyMeter, PowerParams};
 use crate::mapping::DramLocation;
 use crate::timing::{Cycles, TimingParams};
+use gsdram_core::stats::{ReportStats, StatsNode};
 use gsdram_core::PatternId;
 
 /// Unique request identifier assigned by the caller.
@@ -138,6 +139,24 @@ pub struct ControllerStats {
     pub bus_busy_cycles: u64,
 }
 
+impl ReportStats for ControllerStats {
+    fn stats_node(&self, name: &str) -> StatsNode {
+        StatsNode::new(name)
+            .counter("reads", self.reads)
+            .counter("writes", self.writes)
+            .counter("row_hits", self.row_hits)
+            .counter("row_closed", self.row_closed)
+            .counter("row_conflicts", self.row_conflicts)
+            .counter("activates", self.activates)
+            .counter("precharges", self.precharges)
+            .counter("refreshes", self.refreshes)
+            .counter("total_read_latency", self.total_read_latency)
+            .counter("bus_busy_cycles", self.bus_busy_cycles)
+            .gauge("avg_read_latency", self.avg_read_latency())
+            .gauge("row_hit_rate", self.row_hit_rate())
+    }
+}
+
 impl ControllerStats {
     /// Mean read latency in memory cycles.
     pub fn avg_read_latency(&self) -> f64 {
@@ -212,7 +231,11 @@ impl MemController {
             .map(|_| Rank::new(cfg.timing.clone(), cfg.banks))
             .collect();
         let energy = EnergyMeter::new(cfg.power.clone(), cfg.timing.clone());
-        let next_refresh = if cfg.refresh { cfg.timing.refi } else { Cycles::MAX };
+        let next_refresh = if cfg.refresh {
+            cfg.timing.refi
+        } else {
+            Cycles::MAX
+        };
         MemController {
             cfg,
             ranks,
@@ -273,8 +296,17 @@ impl MemController {
     /// Panics if `at` is before the controller's current time — the
     /// caller must not rewrite history.
     pub fn enqueue(&mut self, req: MemRequest, at: Cycles) {
-        assert!(at >= self.now, "request arrives at {at} but now is {}", self.now);
-        let p = Pending { req, arrival: at, seq: self.seq, served: None };
+        assert!(
+            at >= self.now,
+            "request arrives at {at} but now is {}",
+            self.now
+        );
+        let p = Pending {
+            req,
+            arrival: at,
+            seq: self.seq,
+            served: None,
+        };
         self.seq += 1;
         match req.kind {
             AccessKind::Read => self.readq.push(p),
@@ -459,11 +491,21 @@ impl MemController {
                         pattern: p.req.pattern,
                     },
                 },
-                RowBufferState::Closed => DramCommand::Activate { bank: loc.bank, row: loc.row },
+                RowBufferState::Closed => DramCommand::Activate {
+                    bank: loc.bank,
+                    row: loc.row,
+                },
                 RowBufferState::Conflict => DramCommand::Precharge { bank: loc.bank },
             };
             let ready = self.earliest_on(loc.rank, &cmd, from.max(p.arrival));
-            out.push((idx, loc.rank, cmd, ready, state == RowBufferState::Hit, p.seq));
+            out.push((
+                idx,
+                loc.rank,
+                cmd,
+                ready,
+                state == RowBufferState::Hit,
+                p.seq,
+            ));
         }
         out
     }
@@ -505,7 +547,9 @@ impl MemController {
     /// Whether any queued request would hit the open row of
     /// `(rank, bank)`.
     fn queued_hit_for(&self, rank: usize, bank: usize) -> bool {
-        let Some(row) = self.ranks[rank].open_row(bank) else { return false };
+        let Some(row) = self.ranks[rank].open_row(bank) else {
+            return false;
+        };
         self.readq
             .iter()
             .chain(self.writeq.iter())
@@ -553,9 +597,8 @@ impl MemController {
             if self.cfg.row_policy == RowPolicy::Closed {
                 if let Some((rank, cmd, at)) = self.close_candidate(self.now) {
                     let beats = best.is_none_or(|(_, _, _, bat, _, _)| at < bat);
-                    let refresh_blocks = self.cfg.refresh
-                        && self.next_refresh <= limit
-                        && at >= self.next_refresh;
+                    let refresh_blocks =
+                        self.cfg.refresh && self.next_refresh <= limit && at >= self.next_refresh;
                     if beats && !refresh_blocks {
                         if at > limit {
                             return false;
@@ -595,11 +638,18 @@ impl MemController {
                     }
                 }
             }
-            let queue = if from_writeq { &mut self.writeq } else { &mut self.readq };
+            let queue = if from_writeq {
+                &mut self.writeq
+            } else {
+                &mut self.readq
+            };
             if is_column {
                 let p = queue.swap_remove(idx);
                 let at_done = data_end.expect("column command returns completion");
-                self.completions.push(Completion { id: p.req.id, at: at_done });
+                self.completions.push(Completion {
+                    id: p.req.id,
+                    at: at_done,
+                });
                 match p.served.unwrap_or(RowBufferState::Hit) {
                     RowBufferState::Hit => self.stats.row_hits += 1,
                     RowBufferState::Closed => self.stats.row_closed += 1,
@@ -618,10 +668,9 @@ impl MemController {
                 // access.
                 let p = &mut queue[idx];
                 match cmd {
-                    DramCommand::Activate { .. }
-                        if p.served.is_none() => {
-                            p.served = Some(RowBufferState::Closed);
-                        }
+                    DramCommand::Activate { .. } if p.served.is_none() => {
+                        p.served = Some(RowBufferState::Closed);
+                    }
                     DramCommand::Precharge { .. } => p.served = Some(RowBufferState::Conflict),
                     _ => {}
                 }
@@ -661,11 +710,17 @@ mod tests {
     }
 
     fn write_req(id: u64, addr: u64) -> MemRequest {
-        MemRequest { kind: AccessKind::Write, ..read_req(id, addr) }
+        MemRequest {
+            kind: AccessKind::Write,
+            ..read_req(id, addr)
+        }
     }
 
     fn quiet_cfg() -> ControllerConfig {
-        ControllerConfig { refresh: false, ..ControllerConfig::default() }
+        ControllerConfig {
+            refresh: false,
+            ..ControllerConfig::default()
+        }
     }
 
     #[test]
@@ -758,7 +813,10 @@ mod tests {
         let done = c.take_completions(10000);
         let pos1 = done.iter().position(|x| x.id == 1).unwrap();
         let pos2 = done.iter().position(|x| x.id == 2).unwrap();
-        assert!(done[pos2].at < done[pos1].at, "read must finish before write");
+        assert!(
+            done[pos2].at < done[pos1].at,
+            "read must finish before write"
+        );
     }
 
     #[test]
@@ -831,7 +889,10 @@ mod tests {
 
         let mut gs = MemController::new(quiet_cfg());
         gs.enqueue(
-            MemRequest { pattern: PatternId(7), ..read_req(1, 0) },
+            MemRequest {
+                pattern: PatternId(7),
+                ..read_req(1, 0)
+            },
             0,
         );
         gs.advance(1000);
@@ -868,11 +929,18 @@ mod tests {
             let stride = 128 * 64; // one full row of one bank
             for i in 0..16u64 {
                 let addr = (i % 2) * (8 * stride) + (i / 2) * 16 * stride;
-                let loc = if ranks == 2 { map2.decompose(addr) } else {
+                let loc = if ranks == 2 {
+                    map2.decompose(addr)
+                } else {
                     AddressMap::table1().decompose(addr)
                 };
                 c.enqueue(
-                    MemRequest { id: i, loc, pattern: PatternId(0), kind: AccessKind::Read },
+                    MemRequest {
+                        id: i,
+                        loc,
+                        pattern: PatternId(0),
+                        kind: AccessKind::Read,
+                    },
                     0,
                 );
             }
@@ -899,13 +967,32 @@ mod tests {
         let a0 = 0u64;
         let a1 = 128 * 64 * 8; // next rank, ColumnFirst with 8 banks
         assert_eq!(map2.decompose(a1).rank, 1);
-        c.enqueue(MemRequest { id: 0, loc: map2.decompose(a0), pattern: PatternId(0), kind: AccessKind::Read }, 0);
-        c.enqueue(MemRequest { id: 1, loc: map2.decompose(a1), pattern: PatternId(0), kind: AccessKind::Read }, 0);
+        c.enqueue(
+            MemRequest {
+                id: 0,
+                loc: map2.decompose(a0),
+                pattern: PatternId(0),
+                kind: AccessKind::Read,
+            },
+            0,
+        );
+        c.enqueue(
+            MemRequest {
+                id: 1,
+                loc: map2.decompose(a1),
+                pattern: PatternId(0),
+                kind: AccessKind::Read,
+            },
+            0,
+        );
         let end = c.drain();
         let done = c.take_completions(end);
         let mut ats: Vec<u64> = done.iter().map(|x| x.at).collect();
         ats.sort_unstable();
-        assert!(ats[1] - ats[0] >= t.burst + t.rtrs, "bursts too close: {ats:?}");
+        assert!(
+            ats[1] - ats[0] >= t.burst + t.rtrs,
+            "bursts too close: {ats:?}"
+        );
         crate::verify::check_trace(c.trace().unwrap(), &t, 8).unwrap();
     }
 
@@ -926,12 +1013,7 @@ mod tests {
         c.enqueue(read_req(2, 65536), 1000);
         c.advance(5000);
         assert_eq!(c.stats().row_conflicts, 0);
-        crate::verify::check_trace(
-            c.trace().unwrap(),
-            &TimingParams::ddr3_1600(),
-            8,
-        )
-        .unwrap();
+        crate::verify::check_trace(c.trace().unwrap(), &TimingParams::ddr3_1600(), 8).unwrap();
     }
 
     #[test]

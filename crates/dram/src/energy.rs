@@ -10,6 +10,7 @@
 //! defaults are representative of a 2 Gb x8 DDR3-1600 device.
 
 use crate::timing::{Cycles, TimingParams};
+use gsdram_core::stats::{ReportStats, StatsNode};
 
 /// IDD currents (mA) and supply voltage for one DRAM chip.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,6 +80,19 @@ pub struct EnergyBreakdown {
     pub background_nj: f64,
     /// I/O and termination energy.
     pub io_nj: f64,
+}
+
+impl ReportStats for EnergyBreakdown {
+    fn stats_node(&self, name: &str) -> StatsNode {
+        StatsNode::new(name)
+            .gauge("activation_nj", self.activation_nj)
+            .gauge("read_nj", self.read_nj)
+            .gauge("write_nj", self.write_nj)
+            .gauge("refresh_nj", self.refresh_nj)
+            .gauge("background_nj", self.background_nj)
+            .gauge("io_nj", self.io_nj)
+            .gauge("total_mj", self.total_mj())
+    }
 }
 
 impl EnergyBreakdown {
@@ -288,7 +302,8 @@ mod tests {
         m.on_refresh();
         m.on_elapsed(100, true);
         let b = m.breakdown();
-        let sum = b.activation_nj + b.read_nj + b.write_nj + b.refresh_nj + b.background_nj + b.io_nj;
+        let sum =
+            b.activation_nj + b.read_nj + b.write_nj + b.refresh_nj + b.background_nj + b.io_nj;
         assert!((b.total_nj() - sum).abs() < 1e-12);
         assert!((b.total_mj() - sum * 1e-6).abs() < 1e-18);
     }

@@ -137,8 +137,7 @@ impl AddressMap {
     pub fn compose(&self, loc: DramLocation) -> u64 {
         let line = match self.interleave {
             Interleave::ColumnFirst => {
-                ((loc.row.0 as u64 * self.ranks + loc.rank as u64) * self.banks
-                    + loc.bank as u64)
+                ((loc.row.0 as u64 * self.ranks + loc.rank as u64) * self.banks + loc.bank as u64)
                     * self.cols_per_row
                     + loc.col.0 as u64
             }

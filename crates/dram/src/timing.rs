@@ -71,7 +71,7 @@ impl TimingParams {
             wr: 12,
             rrd: 5,
             faw: 24,
-            rfc: 128, // 160 ns at 800 MHz (2 Gb device)
+            rfc: 128,   // 160 ns at 800 MHz (2 Gb device)
             refi: 6240, // 7.8 us at 800 MHz
             rtw: 2,
             rtrs: 2,

@@ -25,7 +25,11 @@ pub struct TimingViolation {
 
 impl fmt::Display for TimingViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} violation at cycle {}: {}", self.rule, self.at, self.detail)
+        write!(
+            f,
+            "{} violation at cycle {}: {}",
+            self.rule, self.at, self.detail
+        )
     }
 }
 
@@ -86,16 +90,28 @@ pub fn check_trace(
                     return err(at, "state", format!("ACT to open bank {bank}"));
                 }
                 if at < *refresh_until {
-                    return err(at, "tRFC", format!("ACT during refresh (until {refresh_until})"));
+                    return err(
+                        at,
+                        "tRFC",
+                        format!("ACT during refresh (until {refresh_until})"),
+                    );
                 }
                 if let Some(a) = last_act[bank] {
                     if at < a + t.rc {
-                        return err(at, "tRC", format!("bank {bank} re-activated {} early", a + t.rc - at));
+                        return err(
+                            at,
+                            "tRC",
+                            format!("bank {bank} re-activated {} early", a + t.rc - at),
+                        );
                     }
                 }
                 if let Some(p) = last_pre[bank] {
                     if at < p + t.rp {
-                        return err(at, "tRP", format!("bank {bank} activated {} early", p + t.rp - at));
+                        return err(
+                            at,
+                            "tRP",
+                            format!("bank {bank} activated {} early", p + t.rp - at),
+                        );
                     }
                 }
                 if let Some(&a) = acts.last() {
@@ -119,7 +135,11 @@ pub fn check_trace(
                 }
                 if let Some(a) = last_act[bank] {
                     if at < a + t.ras {
-                        return err(at, "tRAS", format!("bank {bank} precharged {} early", a + t.ras - at));
+                        return err(
+                            at,
+                            "tRAS",
+                            format!("bank {bank} precharged {} early", a + t.ras - at),
+                        );
                     }
                 }
                 open[bank] = None;
@@ -170,7 +190,11 @@ pub fn check_trace(
                 }
                 if let Some(prev_rd) = rank_col_read {
                     if at + t.cwl < prev_rd + t.cl + t.burst + t.rtw {
-                        return err(at, "bus turnaround", "write data collides with read burst".into());
+                        return err(
+                            at,
+                            "bus turnaround",
+                            "write data collides with read burst".into(),
+                        );
                     }
                 }
                 let start = at + t.cwl;
@@ -200,19 +224,34 @@ mod tests {
     use gsdram_core::{ColumnId, PatternId, RowId};
 
     fn act(at: u64, bank: usize, row: u32) -> TimedCommand {
-        TimedCommand { at, rank: 0, cmd: DramCommand::Activate { bank, row: RowId(row) } }
+        TimedCommand {
+            at,
+            rank: 0,
+            cmd: DramCommand::Activate {
+                bank,
+                row: RowId(row),
+            },
+        }
     }
 
     fn read(at: u64, bank: usize) -> TimedCommand {
         TimedCommand {
             at,
             rank: 0,
-            cmd: DramCommand::Read { bank, col: ColumnId(0), pattern: PatternId(0) },
+            cmd: DramCommand::Read {
+                bank,
+                col: ColumnId(0),
+                pattern: PatternId(0),
+            },
         }
     }
 
     fn pre(at: u64, bank: usize) -> TimedCommand {
-        TimedCommand { at, rank: 0, cmd: DramCommand::Precharge { bank } }
+        TimedCommand {
+            at,
+            rank: 0,
+            cmd: DramCommand::Precharge { bank },
+        }
     }
 
     #[test]
@@ -271,7 +310,11 @@ mod tests {
         let t = TimingParams::ddr3_1600();
         let trace = vec![
             act(0, 0, 1),
-            TimedCommand { at: 5, rank: 0, cmd: DramCommand::Refresh },
+            TimedCommand {
+                at: 5,
+                rank: 0,
+                cmd: DramCommand::Refresh,
+            },
         ];
         assert_eq!(check_trace(&trace, &t, 8).unwrap_err().rule, "state");
     }

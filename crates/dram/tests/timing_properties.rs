@@ -1,19 +1,21 @@
-//! Property tests: the controller never emits a command sequence that
-//! violates DDR3 timing, under arbitrary request streams.
+//! Property-style tests: the controller never emits a command sequence
+//! that violates DDR3 timing, under arbitrary request streams.
 //!
 //! The checker below re-derives the JEDEC rules independently of the
-//! `Rank` state machine, so a bug in the controller's bookkeeping cannot
-//! hide itself.
+//! `Rank` state machine, so a bug in the controller's bookkeeping
+//! cannot hide itself. Cases come from a deterministic PRNG
+//! ([`gsdram_core::rng::SplitMix`]) instead of `proptest`, keeping the
+//! workspace dependency-free and failures bit-reproducible.
 
+use gsdram_core::rng::SplitMix;
 use gsdram_core::PatternId;
 use gsdram_dram::command::TimedCommand;
-use gsdram_dram::verify::check_trace;
 use gsdram_dram::controller::{
     AccessKind, ControllerConfig, MemController, MemRequest, RowPolicy, SchedPolicy,
 };
 use gsdram_dram::mapping::AddressMap;
 use gsdram_dram::timing::TimingParams;
-use proptest::prelude::*;
+use gsdram_dram::verify::check_trace;
 
 fn run_stream(
     reqs: Vec<(u64, bool, u64)>,
@@ -45,7 +47,11 @@ fn run_stream(
                 id: i as u64,
                 loc: map.decompose(addr % (1 << 26)),
                 pattern: PatternId((addr % 8) as u8),
-                kind: if is_write { AccessKind::Write } else { AccessKind::Read },
+                kind: if is_write {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
             },
             at,
         );
@@ -55,51 +61,65 @@ fn run_stream(
     (mc.trace().unwrap().to_vec(), done.len().min(n))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every command trace the controller produces passes the
-    /// independent JEDEC replay checker, and every request completes.
-    #[test]
-    fn traces_obey_ddr3_timing(
-        reqs in proptest::collection::vec((any::<u64>(), any::<bool>(), 0u64..200), 1..120),
-        frfcfs in any::<bool>(),
-        refresh in any::<bool>(),
-        two_ranks in any::<bool>(),
-        closed_rows in any::<bool>(),
-    ) {
-        let n = reqs.len();
-        let policy = if frfcfs { SchedPolicy::FrFcfs } else { SchedPolicy::Fcfs };
-        let row_policy = if closed_rows { RowPolicy::Closed } else { RowPolicy::Open };
-        let (trace, completed) =
-            run_stream(reqs, policy, refresh, if two_ranks { 2 } else { 1 }, row_policy);
-        prop_assert_eq!(completed, n, "all requests must complete");
-        check_trace(&trace, &TimingParams::ddr3_1600(), 8).map_err(|e| {
-            TestCaseError::fail(format!("timing violation: {e}"))
-        })?;
+/// Every command trace the controller produces passes the independent
+/// JEDEC replay checker, and every request completes — across both
+/// schedulers, both row policies, 1–2 ranks, refresh on/off.
+#[test]
+fn traces_obey_ddr3_timing() {
+    let mut rng = SplitMix(0xD3A1);
+    for case in 0..64 {
+        let n = rng.range(1, 120) as usize;
+        let reqs: Vec<(u64, bool, u64)> = (0..n)
+            .map(|_| (rng.next_u64(), rng.flip(), rng.below(200)))
+            .collect();
+        let policy = if rng.flip() {
+            SchedPolicy::FrFcfs
+        } else {
+            SchedPolicy::Fcfs
+        };
+        let row_policy = if rng.flip() {
+            RowPolicy::Closed
+        } else {
+            RowPolicy::Open
+        };
+        let refresh = rng.flip();
+        let ranks = if rng.flip() { 2 } else { 1 };
+        let (trace, completed) = run_stream(reqs, policy, refresh, ranks, row_policy);
+        assert_eq!(completed, n, "case {case}: all requests must complete");
+        if let Err(e) = check_trace(&trace, &TimingParams::ddr3_1600(), 8) {
+            panic!("case {case}: timing violation: {e}");
+        }
     }
+}
 
-    /// Read latency never falls below the physical minimum (CL + burst)
-    /// and row hits are bounded by the conflict path plus queueing.
-    #[test]
-    fn latencies_are_physical(
-        addrs in proptest::collection::vec(any::<u64>(), 1..60),
-    ) {
+/// Read latency never falls below the physical minimum (CL + burst).
+#[test]
+fn latencies_are_physical() {
+    let mut rng = SplitMix(0xD3A2);
+    for _ in 0..64 {
+        let n = rng.range(1, 60) as usize;
+        let addrs: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
         let map = AddressMap::table1();
-        let mut mc = MemController::new(ControllerConfig { refresh: false, ..ControllerConfig::default() });
+        let mut mc = MemController::new(ControllerConfig {
+            refresh: false,
+            ..ControllerConfig::default()
+        });
         for (i, a) in addrs.iter().enumerate() {
-            mc.enqueue(MemRequest {
-                id: i as u64,
-                loc: map.decompose(a % (1 << 26)),
-                pattern: PatternId(0),
-                kind: AccessKind::Read,
-            }, 0);
+            mc.enqueue(
+                MemRequest {
+                    id: i as u64,
+                    loc: map.decompose(a % (1 << 26)),
+                    pattern: PatternId(0),
+                    kind: AccessKind::Read,
+                },
+                0,
+            );
         }
         let end = mc.drain();
         let done = mc.take_completions(end);
         let t = TimingParams::ddr3_1600();
         for c in &done {
-            prop_assert!(c.at >= t.cl + t.burst);
+            assert!(c.at >= t.cl + t.burst);
         }
     }
 }

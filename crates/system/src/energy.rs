@@ -8,6 +8,7 @@
 //! ~22 nm-class process.
 
 use crate::config::SystemConfig;
+use gsdram_core::stats::{ReportStats, StatsNode};
 use gsdram_dram::energy::EnergyBreakdown;
 
 /// Per-component CPU energy constants.
@@ -45,6 +46,17 @@ pub struct EnergyReport {
     pub cache_mj: f64,
     /// DRAM energy, millijoules.
     pub dram_mj: f64,
+}
+
+impl ReportStats for EnergyReport {
+    fn stats_node(&self, name: &str) -> StatsNode {
+        StatsNode::new(name)
+            .gauge("cpu_static_mj", self.cpu_static_mj)
+            .gauge("cpu_dynamic_mj", self.cpu_dynamic_mj)
+            .gauge("cache_mj", self.cache_mj)
+            .gauge("dram_mj", self.dram_mj)
+            .gauge("total_mj", self.total_mj())
+    }
 }
 
 impl EnergyReport {
@@ -104,7 +116,10 @@ mod tests {
     fn dram_term_passes_through() {
         let cfg = SystemConfig::table1(1, 1 << 20);
         let m = CpuEnergyModel::default();
-        let dram = EnergyBreakdown { read_nj: 2_000_000.0, ..Default::default() };
+        let dram = EnergyBreakdown {
+            read_nj: 2_000_000.0,
+            ..Default::default()
+        };
         let r = m.report(&cfg, 0, 0, 0, 0, dram);
         assert!((r.dram_mj - 2.0).abs() < 1e-9);
     }

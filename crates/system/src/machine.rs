@@ -18,10 +18,11 @@
 use std::collections::HashMap;
 
 use gsdram_cache::cache::{CacheStats, EvictedLine, LineKey, SetAssocCache};
-use gsdram_cache::dbi::DirtyBlockIndex;
 use gsdram_cache::dbi::DbiStats;
+use gsdram_cache::dbi::DirtyBlockIndex;
 use gsdram_cache::overlap::OverlapCalc;
 use gsdram_cache::prefetch::{PrefetchStats, StridePrefetcher};
+use gsdram_core::stats::{ReportStats, StatsNode};
 use gsdram_core::{ColumnId, Geometry, GsModule, PatternId, RowId};
 use gsdram_dram::controller::{
     AccessKind, Completion, ControllerStats, MemController, MemRequest, ReqId,
@@ -108,6 +109,55 @@ impl RunReport {
     }
 }
 
+impl ReportStats for RunReport {
+    /// The whole run as one stats tree:
+    ///
+    /// ```text
+    /// <name>: cpu_cycles, ops, mem_ops
+    ///   cores:   core0..coreN (cycles, progress, result)
+    ///   l1[i]:   cache counters per core
+    ///   l2:      cache counters
+    ///   dram:    controller counters
+    ///   dram_energy: energy breakdown (nJ)
+    ///   energy:  CPU + DRAM totals (mJ)
+    ///   prefetch[i]: per-core prefetcher counters
+    ///   dbi:     Dirty-Block-Index counters
+    /// ```
+    fn stats_node(&self, name: &str) -> StatsNode {
+        let mut cores = StatsNode::new("cores");
+        for (i, cycles) in self.core_cycles.iter().enumerate() {
+            cores = cores.child(
+                StatsNode::new(format!("core{i}"))
+                    .counter("cycles", *cycles)
+                    .counter("progress", self.progress.get(i).copied().unwrap_or(0))
+                    .counter("result", self.results.get(i).copied().unwrap_or(0)),
+            );
+        }
+        StatsNode::new(name)
+            .counter("cpu_cycles", self.cpu_cycles)
+            .counter("ops", self.ops)
+            .counter("mem_ops", self.mem_ops)
+            .child(cores)
+            .children_from(
+                self.l1
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| s.stats_node(&format!("l1_{i}"))),
+            )
+            .child(self.l2.stats_node("l2"))
+            .child(self.dram.stats_node("dram"))
+            .child(self.dram_energy.stats_node("dram_energy"))
+            .child(self.energy.stats_node("energy"))
+            .children_from(
+                self.prefetch
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| s.stats_node(&format!("prefetch_{i}"))),
+            )
+            .child(self.dbi.stats_node("dbi"))
+    }
+}
+
 #[derive(Debug, Clone)]
 struct CoreState {
     time: u64,
@@ -184,9 +234,17 @@ impl Machine {
             .collect();
         let l2 = SetAssocCache::new(cfg.l2);
         let l1 = (0..cfg.cores).map(|_| SetAssocCache::new(cfg.l1)).collect();
-        let prefetchers = (0..cfg.cores).map(|_| StridePrefetcher::degree4()).collect();
+        let prefetchers = (0..cfg.cores)
+            .map(|_| StridePrefetcher::degree4())
+            .collect();
         let cores = (0..cfg.cores)
-            .map(|_| CoreState { time: 0, waiting: false, done: false, ops: 0, mem_ops: 0 })
+            .map(|_| CoreState {
+                time: 0,
+                waiting: false,
+                done: false,
+                ops: 0,
+                mem_ops: 0,
+            })
             .collect();
         Machine {
             cfg,
@@ -246,7 +304,11 @@ impl Machine {
         let rb = self.overlap.row_bytes();
         let row = (addr / rb) as u32;
         let off = addr % rb;
-        (RowId(row), ColumnId((off / 64) as u32), ((off % 64) / 8) as usize)
+        (
+            RowId(row),
+            ColumnId((off / 64) as u32),
+            ((off % 64) / 8) as usize,
+        )
     }
 
     /// Writes `value` at `addr` directly into the DRAM module (bypassing
@@ -304,8 +366,7 @@ impl Machine {
     /// the (commodity, unshuffled) module layout.
     fn addr_semantics(&self, key: LineKey) -> bool {
         let shuffled = self.pages.info(key.addr).shuffle;
-        shuffled
-            || (self.cfg.gather == GatherSupport::Impulse && !key.pattern.is_default())
+        shuffled || (self.cfg.gather == GatherSupport::Impulse && !key.pattern.is_default())
     }
 
     fn write_line_to_module(&mut self, key: LineKey, data: &[u64]) {
@@ -352,7 +413,10 @@ impl Machine {
         let addrs = self.fetch_sub_addrs(ev.key);
         for (a, pattern) in addrs {
             let (ch, local) = self.channel_of(a);
-            let at = self.cfg.to_mem_cycles(at_cpu).max(self.controllers[ch].now());
+            let at = self
+                .cfg
+                .to_mem_cycles(at_cpu)
+                .max(self.controllers[ch].now());
             let id = self.alloc_req_id();
             let req = MemRequest {
                 id,
@@ -393,12 +457,22 @@ impl Machine {
         let parent = self.alloc_req_id();
         self.outstanding.insert(
             parent,
-            Outstanding { key, shuffled, demand, waiters, remaining: subs.len(), done_at: 0 },
+            Outstanding {
+                key,
+                shuffled,
+                demand,
+                waiters,
+                remaining: subs.len(),
+                done_at: 0,
+            },
         );
         self.by_key.insert(key, parent);
         for (a, pattern) in subs {
             let (ch, local) = self.channel_of(a);
-            let at = self.cfg.to_mem_cycles(at_cpu).max(self.controllers[ch].now());
+            let at = self
+                .cfg
+                .to_mem_cycles(at_cpu)
+                .max(self.controllers[ch].now());
             let id = self.alloc_req_id();
             self.parent_of.insert(id, parent);
             let req = MemRequest {
@@ -446,11 +520,18 @@ impl Machine {
         // Coherence engages whenever the page supports an alternate
         // pattern — whether gathers come from the shuffle/CTL datapath
         // (GS-DRAM) or from controller-side assembly (Impulse).
-        let sem = self.addr_semantics(LineKey { pattern: info.alt_pattern, ..key });
+        let sem = self.addr_semantics(LineKey {
+            pattern: info.alt_pattern,
+            ..key
+        });
         if !sem || info.alt_pattern.is_default() {
             return;
         }
-        let other = if key.pattern.is_default() { info.alt_pattern } else { PatternId::DEFAULT };
+        let other = if key.pattern.is_default() {
+            info.alt_pattern
+        } else {
+            PatternId::DEFAULT
+        };
         // §4.1 fast path: one Dirty-Block-Index row lookup rules out the
         // common no-dirty-overlap case without touching the caches.
         if !self.dbi.row_has_dirty(key.addr, other) {
@@ -503,11 +584,18 @@ impl Machine {
             }
         }
         let info = self.pages.info(key.addr);
-        let sem = self.addr_semantics(LineKey { pattern: info.alt_pattern, ..key });
+        let sem = self.addr_semantics(LineKey {
+            pattern: info.alt_pattern,
+            ..key
+        });
         if !sem || info.alt_pattern.is_default() {
             return;
         }
-        let other = if key.pattern.is_default() { info.alt_pattern } else { PatternId::DEFAULT };
+        let other = if key.pattern.is_default() {
+            info.alt_pattern
+        } else {
+            PatternId::DEFAULT
+        };
         for okey in self.overlap.overlapping_lines(key, other, sem) {
             // L2 before L1: an L2 dirty copy is older than an L1 dirty
             // copy of the same line, so the L1 data must reach DRAM last.
@@ -539,14 +627,24 @@ impl Machine {
             } else {
                 let data = ev.data.clone();
                 let l2_ev = self.l2.fill(key, data);
-                self.l2.data_mut(key).expect("just filled").copy_from_slice(&ev.data);
+                self.l2
+                    .data_mut(key)
+                    .expect("just filled")
+                    .copy_from_slice(&ev.data);
                 self.handle_l2_eviction(l2_ev, at_cpu);
             }
         }
     }
 
     /// Issues the stride prefetcher's predictions as L2 prefetch reads.
-    fn issue_prefetches(&mut self, core: usize, pc: u64, addr: u64, pattern: PatternId, at_cpu: u64) {
+    fn issue_prefetches(
+        &mut self,
+        core: usize,
+        pc: u64,
+        addr: u64,
+        pattern: PatternId,
+        at_cpu: u64,
+    ) {
         if !self.cfg.prefetch {
             return;
         }
@@ -571,7 +669,15 @@ impl Machine {
     /// Executes one memory op for `core` at its current time. Returns
     /// `Some(value)` when the access completed synchronously (cache hit),
     /// `None` when the core is now waiting on DRAM.
-    fn access(&mut self, core: usize, pc: u64, addr: u64, pattern: PatternId, wide: bool, store: Option<u64>) -> Option<u64> {
+    fn access(
+        &mut self,
+        core: usize,
+        pc: u64,
+        addr: u64,
+        pattern: PatternId,
+        wide: bool,
+        store: Option<u64>,
+    ) -> Option<u64> {
         let info = self
             .pages
             .check(addr, pattern)
@@ -641,7 +747,12 @@ impl Machine {
 
         // DRAM. Attach to an existing outstanding request if any.
         let miss_time = t0 + self.cfg.l1.latency + self.cfg.l2.latency;
-        let waiter = Waiter { core, word, wide, store };
+        let waiter = Waiter {
+            core,
+            word,
+            wide,
+            store,
+        };
         self.cores[core].waiting = true;
         if let Some(&id) = self.by_key.get(&key) {
             let out = self.outstanding.get_mut(&id).expect("tracked");
@@ -671,7 +782,11 @@ impl Machine {
         let out = self.outstanding.remove(&parent).expect("parent tracked");
         self.by_key.remove(&out.key);
         let done_cpu = self.cfg.to_cpu_cycles(out.done_at);
-        let shuffle_penalty = if out.shuffled { self.cfg.shuffle_latency } else { 0 };
+        let shuffle_penalty = if out.shuffled {
+            self.cfg.shuffle_latency
+        } else {
+            0
+        };
 
         // Fill L2 (unless a writeback landed the line there meanwhile).
         let data = if self.l2.contains(out.key) {
@@ -735,7 +850,10 @@ impl Machine {
                 }
                 progressed = true;
             }
-            assert!(progressed, "deadlock: cores waiting but no memory traffic outstanding");
+            assert!(
+                progressed,
+                "deadlock: cores waiting but no memory traffic outstanding"
+            );
             if self.cores.iter().any(|c| !c.done && !c.waiting) {
                 return;
             }
@@ -820,7 +938,12 @@ impl Machine {
                                 programs[i].on_load_value(v);
                             }
                         }
-                        Op::Store { pc, addr, pattern, value } => {
+                        Op::Store {
+                            pc,
+                            addr,
+                            pattern,
+                            value,
+                        } => {
                             self.access(i, pc, addr, pattern, false, Some(value));
                         }
                     }
@@ -908,8 +1031,17 @@ mod tests {
         let mut m = small_machine(1);
         let base = m.malloc(4096);
         let mut p = ScriptedProgram::new(vec![
-            Op::Store { pc: 1, addr: base + 8, pattern: PatternId(0), value: 31415 },
-            Op::Load { pc: 2, addr: base + 8, pattern: PatternId(0) },
+            Op::Store {
+                pc: 1,
+                addr: base + 8,
+                pattern: PatternId(0),
+                value: 31415,
+            },
+            Op::Load {
+                pc: 2,
+                addr: base + 8,
+                pattern: PatternId(0),
+            },
         ]);
         run_one(&mut m, &mut p);
         assert_eq!(p.loaded_values(), &[31415]);
@@ -929,7 +1061,11 @@ mod tests {
             }
         }
         let ops: Vec<Op> = (0..8u64)
-            .map(|k| Op::Load { pc: 1, addr: base + 8 * k, pattern: PatternId(7) })
+            .map(|k| Op::Load {
+                pc: 1,
+                addr: base + 8 * k,
+                pattern: PatternId(7),
+            })
             .collect();
         let mut p = ScriptedProgram::new(ops);
         let r = run_one(&mut m, &mut p);
@@ -945,8 +1081,16 @@ mod tests {
         let mut m = small_machine(1);
         let base = m.malloc(4096);
         let mut p = ScriptedProgram::new(vec![
-            Op::Load { pc: 1, addr: base, pattern: PatternId(0) },
-            Op::Load { pc: 2, addr: base + 32, pattern: PatternId(0) },
+            Op::Load {
+                pc: 1,
+                addr: base,
+                pattern: PatternId(0),
+            },
+            Op::Load {
+                pc: 2,
+                addr: base + 32,
+                pattern: PatternId(0),
+            },
         ]);
         let r = run_one(&mut m, &mut p);
         assert_eq!(r.dram.reads, 1);
@@ -963,11 +1107,24 @@ mod tests {
         }
         let mut p = ScriptedProgram::new(vec![
             // Fetch the gathered field-0 line.
-            Op::Load { pc: 1, addr: base, pattern: PatternId(7) },
+            Op::Load {
+                pc: 1,
+                addr: base,
+                pattern: PatternId(7),
+            },
             // Modify field 0 of tuple 3 through the default pattern.
-            Op::Store { pc: 2, addr: base + 3 * 64, pattern: PatternId(0), value: 55 },
+            Op::Store {
+                pc: 2,
+                addr: base + 3 * 64,
+                pattern: PatternId(0),
+                value: 55,
+            },
             // Re-read the gathered line: must see the new value.
-            Op::Load { pc: 3, addr: base + 3 * 8, pattern: PatternId(7) },
+            Op::Load {
+                pc: 3,
+                addr: base + 3 * 8,
+                pattern: PatternId(7),
+            },
         ]);
         run_one(&mut m, &mut p);
         assert_eq!(p.loaded_values(), &[1000, 55]);
@@ -979,7 +1136,12 @@ mod tests {
         let base = m.pattmalloc(8 * 64, true, PatternId(7));
         // pattstore field 0 of tuple k via the gathered line.
         let ops: Vec<Op> = (0..8u64)
-            .map(|k| Op::Store { pc: 1, addr: base + 8 * k, pattern: PatternId(7), value: 90 + k })
+            .map(|k| Op::Store {
+                pc: 1,
+                addr: base + 8 * k,
+                pattern: PatternId(7),
+                value: 90 + k,
+            })
             .collect();
         let mut p = ScriptedProgram::new(ops);
         run_one(&mut m, &mut p);
@@ -1026,7 +1188,11 @@ mod tests {
         }]);
         let mut p1 = ScriptedProgram::new(vec![
             Op::Compute(5000),
-            Op::Load { pc: 2, addr: base, pattern: PatternId(0) },
+            Op::Load {
+                pc: 2,
+                addr: base,
+                pattern: PatternId(0),
+            },
         ]);
         {
             let mut programs: Vec<&mut dyn Program> = vec![&mut p0, &mut p1];
@@ -1038,7 +1204,11 @@ mod tests {
     #[test]
     fn prefetcher_reduces_miss_latency_for_streams() {
         let stream: Vec<Op> = (0..512u64)
-            .map(|i| Op::Load { pc: 7, addr: i * 64, pattern: PatternId(0) })
+            .map(|i| Op::Load {
+                pc: 7,
+                addr: i * 64,
+                pattern: PatternId(0),
+            })
             .collect();
 
         let mut plain = Machine::new(SystemConfig::table1(1, 4 << 20));
@@ -1070,7 +1240,11 @@ mod tests {
             m.poke(base + t * 64, 300 + t); // field 0 of tuple t
         }
         let ops: Vec<Op> = (0..8u64)
-            .map(|k| Op::Load { pc: 1, addr: base + 8 * k, pattern: PatternId(7) })
+            .map(|k| Op::Load {
+                pc: 1,
+                addr: base + 8 * k,
+                pattern: PatternId(7),
+            })
             .collect();
         let mut p = ScriptedProgram::new(ops);
         let r = run_one(&mut m, &mut p);
@@ -1086,7 +1260,12 @@ mod tests {
         let mut m = Machine::new(SystemConfig::table1(1, 4 << 20).with_impulse());
         let base = m.pattmalloc(8 * 64, false, PatternId(7));
         let ops: Vec<Op> = (0..8u64)
-            .map(|k| Op::Store { pc: 1, addr: base + 8 * k, pattern: PatternId(7), value: 60 + k })
+            .map(|k| Op::Store {
+                pc: 1,
+                addr: base + 8 * k,
+                pattern: PatternId(7),
+                value: 60 + k,
+            })
             .collect();
         let mut p = ScriptedProgram::new(ops);
         run_one(&mut m, &mut p);
@@ -1117,7 +1296,12 @@ mod tests {
         };
         let gs = run(false);
         let imp = run(true);
-        assert!(imp.dram.reads >= 6 * gs.dram.reads, "imp {} gs {}", imp.dram.reads, gs.dram.reads);
+        assert!(
+            imp.dram.reads >= 6 * gs.dram.reads,
+            "imp {} gs {}",
+            imp.dram.reads,
+            gs.dram.reads
+        );
         assert!(imp.cpu_cycles > gs.cpu_cycles);
     }
 
@@ -1126,12 +1310,14 @@ mod tests {
         // Two interleaved row-streaming scans: with two channels the
         // streams proceed in parallel.
         let stream: Vec<Op> = (0..512u64)
-            .map(|i| Op::Load { pc: 7, addr: i * 8192, pattern: PatternId(0) })
+            .map(|i| Op::Load {
+                pc: 7,
+                addr: i * 8192,
+                pattern: PatternId(0),
+            })
             .collect();
         let run = |channels: usize| {
-            let mut m = Machine::new(
-                SystemConfig::table1(1, 8 << 20).with_channels(channels),
-            );
+            let mut m = Machine::new(SystemConfig::table1(1, 8 << 20).with_channels(channels));
             m.malloc(512 * 8192);
             let mut p = ScriptedProgram::new(stream.clone());
             run_one(&mut m, &mut p).cpu_cycles
@@ -1146,9 +1332,7 @@ mod tests {
         // Gathers, stores and coherence behave identically on 1, 2 and
         // 4 channels — lines never span channels.
         let run = |channels: usize| {
-            let mut m = Machine::new(
-                SystemConfig::table1(1, 8 << 20).with_channels(channels),
-            );
+            let mut m = Machine::new(SystemConfig::table1(1, 8 << 20).with_channels(channels));
             // Enough tuples to spread over several DRAM rows.
             let base = m.pattmalloc(1024 * 64, true, PatternId(7));
             for t in 0..1024u64 {

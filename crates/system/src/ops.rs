@@ -86,7 +86,11 @@ pub struct ScriptedProgram {
 impl ScriptedProgram {
     /// A program that plays back `ops`.
     pub fn new(ops: Vec<Op>) -> Self {
-        ScriptedProgram { ops: ops.into_iter(), values: Vec::new(), done_units: 0 }
+        ScriptedProgram {
+            ops: ops.into_iter(),
+            values: Vec::new(),
+            done_units: 0,
+        }
     }
 
     /// Values observed by loads, in order.
@@ -125,7 +129,11 @@ mod tests {
     fn scripted_program_plays_back() {
         let mut p = ScriptedProgram::new(vec![
             Op::Compute(3),
-            Op::Load { pc: 1, addr: 64, pattern: PatternId(0) },
+            Op::Load {
+                pc: 1,
+                addr: 64,
+                pattern: PatternId(0),
+            },
         ]);
         assert_eq!(p.next_op(), Some(Op::Compute(3)));
         p.on_load_value(42);

@@ -22,7 +22,10 @@ pub struct PageInfo {
 impl PageInfo {
     /// Plain memory: no shuffling, only the default pattern.
     pub fn plain() -> Self {
-        PageInfo { shuffle: false, alt_pattern: PatternId::DEFAULT }
+        PageInfo {
+            shuffle: false,
+            alt_pattern: PatternId::DEFAULT,
+        }
     }
 
     /// Whether `pattern` is legal on this page.
@@ -108,9 +111,16 @@ impl PageTable {
     pub fn pattmalloc(&mut self, bytes: u64, shuffle: bool, pattern: PatternId) -> u64 {
         let base = self.next_free.div_ceil(self.row_bytes) * self.row_bytes;
         let end = base + bytes;
-        assert!(end <= self.capacity, "simulated memory exhausted ({end} > {})", self.capacity);
+        assert!(
+            end <= self.capacity,
+            "simulated memory exhausted ({end} > {})",
+            self.capacity
+        );
         self.next_free = end;
-        let info = PageInfo { shuffle, alt_pattern: pattern };
+        let info = PageInfo {
+            shuffle,
+            alt_pattern: pattern,
+        };
         let first = (base / self.page_bytes) as usize;
         let last = (end.div_ceil(self.page_bytes) as usize).min(self.pages.len());
         for p in &mut self.pages[first..last] {
@@ -196,7 +206,10 @@ mod tests {
 
     #[test]
     fn page_info_allows() {
-        let p = PageInfo { shuffle: true, alt_pattern: PatternId(7) };
+        let p = PageInfo {
+            shuffle: true,
+            alt_pattern: PatternId(7),
+        };
         assert!(p.allows(PatternId(0)));
         assert!(p.allows(PatternId(7)));
         assert!(!p.allows(PatternId(1)));

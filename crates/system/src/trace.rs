@@ -30,7 +30,12 @@ pub fn format_op(op: &Op) -> String {
     match op {
         Op::Load { pc, addr, pattern } => format!("L {addr:x} {} {pc}", pattern.0),
         Op::Load16 { pc, addr, pattern } => format!("W {addr:x} {} {pc}", pattern.0),
-        Op::Store { pc, addr, pattern, value } => {
+        Op::Store {
+            pc,
+            addr,
+            pattern,
+            value,
+        } => {
             format!("S {addr:x} {} {pc} {value:x}", pattern.0)
         }
         Op::Compute(c) => format!("C {c}"),
@@ -70,7 +75,12 @@ pub fn parse_line(line: &str) -> io::Result<Option<Op>> {
                 "W" => Op::Load16 { pc, addr, pattern },
                 _ => {
                     let value = hex(4, "missing/invalid value")?;
-                    Op::Store { pc, addr, pattern, value }
+                    Op::Store {
+                        pc,
+                        addr,
+                        pattern,
+                        value,
+                    }
                 }
             };
             Ok(Some(op))
@@ -107,7 +117,11 @@ pub struct TraceRecorder<P, W> {
 impl<P: Program, W: Write> TraceRecorder<P, W> {
     /// Wraps `inner`, writing each yielded op to `out`.
     pub fn new(inner: P, out: W) -> Self {
-        TraceRecorder { inner, out, ops_written: 0 }
+        TraceRecorder {
+            inner,
+            out,
+            ops_written: 0,
+        }
     }
 
     /// Finishes recording, returning the inner program and writer.
@@ -154,7 +168,11 @@ pub struct TraceReplayer<R> {
 impl<R: BufRead> TraceReplayer<R> {
     /// A replayer over `reader`.
     pub fn new(reader: R) -> Self {
-        TraceReplayer { lines: reader.lines(), sum: 0, ops_replayed: 0 }
+        TraceReplayer {
+            lines: reader.lines(),
+            sum: 0,
+            ops_replayed: 0,
+        }
     }
 
     /// Ops replayed so far.
@@ -197,9 +215,22 @@ mod tests {
     #[test]
     fn format_parse_round_trip() {
         let ops = [
-            Op::Load { pc: 12, addr: 0xdeadb0, pattern: PatternId(7) },
-            Op::Load16 { pc: 3, addr: 0x40, pattern: PatternId(0) },
-            Op::Store { pc: 9, addr: 0x1000, pattern: PatternId(1), value: 0xfeed },
+            Op::Load {
+                pc: 12,
+                addr: 0xdeadb0,
+                pattern: PatternId(7),
+            },
+            Op::Load16 {
+                pc: 3,
+                addr: 0x40,
+                pattern: PatternId(0),
+            },
+            Op::Store {
+                pc: 9,
+                addr: 0x1000,
+                pattern: PatternId(1),
+                value: 0xfeed,
+            },
             Op::Compute(37),
         ];
         for op in ops {
@@ -229,7 +260,11 @@ mod tests {
             (0..64u64)
                 .flat_map(|i| {
                     [
-                        Op::Load { pc: 1, addr: base + i * 72 % 4096, pattern: PatternId(0) },
+                        Op::Load {
+                            pc: 1,
+                            addr: base + i * 72 % 4096,
+                            pattern: PatternId(0),
+                        },
                         Op::Store {
                             pc: 2,
                             addr: base + i * 40 % 4096,
@@ -263,7 +298,10 @@ mod tests {
             m.run(&mut programs, StopWhen::AllDone)
         };
         assert_eq!(rep.ops_replayed(), 192);
-        assert_eq!(r1.cpu_cycles, r2.cpu_cycles, "replay must be cycle-identical");
+        assert_eq!(
+            r1.cpu_cycles, r2.cpu_cycles,
+            "replay must be cycle-identical"
+        );
         assert_eq!(r1.dram.reads, r2.dram.reads);
         assert_eq!(r1.results[0], r2.results[0]);
     }

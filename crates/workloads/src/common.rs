@@ -25,14 +25,26 @@ impl std::fmt::Debug for IterProgram {
 impl IterProgram {
     /// Wraps a lazy op stream.
     pub fn new(ops: Box<dyn Iterator<Item = Op>>) -> Self {
-        IterProgram { ops, sum: 0, values_seen: 0, units: 0, unit_marker: None }
+        IterProgram {
+            ops,
+            sum: 0,
+            values_seen: 0,
+            units: 0,
+            unit_marker: None,
+        }
     }
 
     /// Wraps a lazy op stream, counting one unit of progress whenever
     /// `marker` matches an emitted op (e.g. the last op of each
     /// transaction).
     pub fn with_unit_marker(ops: Box<dyn Iterator<Item = Op>>, marker: fn(&Op) -> bool) -> Self {
-        IterProgram { ops, sum: 0, values_seen: 0, units: 0, unit_marker: Some(marker) }
+        IterProgram {
+            ops,
+            sum: 0,
+            values_seen: 0,
+            units: 0,
+            unit_marker: Some(marker),
+        }
     }
 
     /// Number of load values observed.
@@ -66,26 +78,9 @@ impl Program for IterProgram {
     }
 }
 
-/// A tiny splittable xorshift generator so workloads are deterministic
-/// without threading a `rand` RNG through boxed iterators.
-#[derive(Debug, Clone)]
-pub struct SplitMix(pub u64);
-
-impl SplitMix {
-    /// The next pseudo-random 64-bit value.
-    pub fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// A value in `0..bound`.
-    pub fn below(&mut self, bound: u64) -> u64 {
-        self.next_u64() % bound.max(1)
-    }
-}
+/// The deterministic generator workloads use, re-exported from
+/// [`gsdram_core::rng`] so every crate shares one implementation.
+pub use gsdram_core::rng::SplitMix;
 
 #[cfg(test)]
 mod tests {
@@ -94,7 +89,14 @@ mod tests {
 
     #[test]
     fn iter_program_streams_and_sums() {
-        let ops = vec![Op::Compute(1), Op::Load { pc: 0, addr: 0, pattern: PatternId(0) }];
+        let ops = vec![
+            Op::Compute(1),
+            Op::Load {
+                pc: 0,
+                addr: 0,
+                pattern: PatternId(0),
+            },
+        ];
         let mut p = IterProgram::new(Box::new(ops.into_iter()));
         assert!(p.next_op().is_some());
         p.on_load_value(5);

@@ -83,8 +83,14 @@ impl Gemm {
     /// tiled variants).
     pub fn create(m: &mut Machine, n: usize, variant: GemmVariant) -> Gemm {
         assert!(n.is_multiple_of(8), "n must be a multiple of 8");
-        if let GemmVariant::Tiled { tile } | GemmVariant::TiledSimd { tile } | GemmVariant::GsDram { tile } = variant {
-            assert!(tile % 8 == 0 && n.is_multiple_of(tile), "tile must divide n and be a multiple of 8");
+        if let GemmVariant::Tiled { tile }
+        | GemmVariant::TiledSimd { tile }
+        | GemmVariant::GsDram { tile } = variant
+        {
+            assert!(
+                tile % 8 == 0 && n.is_multiple_of(tile),
+                "tile must divide n and be a multiple of 8"
+            );
         }
         let bytes = (n * n * 8) as u64;
         let a = m.malloc(bytes);
@@ -93,7 +99,13 @@ impl Gemm {
             _ => m.malloc(bytes),
         };
         let c = m.malloc(bytes);
-        Gemm { n, variant, a, b, c }
+        Gemm {
+            n,
+            variant,
+            a,
+            b,
+            c,
+        }
     }
 
     /// Address of `A[i][k]` (row-major).
@@ -165,7 +177,11 @@ fn naive(g: Gemm, sample: Option<usize>) -> (IterProgram, f64) {
             (0..n).step_by(8).flat_map(move |k| {
                 // One A line per 8 k; 8 B loads (column walk); 8 fma + idx.
                 let mut v: Vec<Op> = Vec::with_capacity(10);
-                v.push(Op::Load { pc: 0xA00, addr: g.a_addr(i, k), pattern: PatternId(0) });
+                v.push(Op::Load {
+                    pc: 0xA00,
+                    addr: g.a_addr(i, k),
+                    pattern: PatternId(0),
+                });
                 for kk in 0..8 {
                     v.push(Op::Load {
                         pc: 0xB00,
@@ -313,7 +329,10 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for k in 0..32 {
             for j in 0..32 {
-                assert!(seen.insert(g.b_addr(k, j)), "duplicate address for ({k},{j})");
+                assert!(
+                    seen.insert(g.b_addr(k, j)),
+                    "duplicate address for ({k},{j})"
+                );
             }
         }
     }
@@ -327,7 +346,11 @@ mod tests {
         g.init(&mut m);
         let mut ops = Vec::new();
         for (k, j) in [(0, 0), (3, 5), (9, 2), (15, 15), (8, 8)] {
-            ops.push(Op::Load { pc: 1, addr: g.b_gather_addr(k, j), pattern: PatternId(7) });
+            ops.push(Op::Load {
+                pc: 1,
+                addr: g.b_gather_addr(k, j),
+                pattern: PatternId(7),
+            });
         }
         let mut p = gsdram_system::ops::ScriptedProgram::new(ops);
         {
@@ -381,6 +404,9 @@ mod tests {
     fn variant_labels() {
         assert_eq!(GemmVariant::Naive.label(), "Naive");
         assert_eq!(GemmVariant::GsDram { tile: 32 }.label(), "GS-DRAM(32)");
-        assert_eq!(GemmVariant::TiledSimd { tile: 16 }.label(), "Tiled+SIMD(16)");
+        assert_eq!(
+            GemmVariant::TiledSimd { tile: 16 }.label(),
+            "Tiled+SIMD(16)"
+        );
     }
 }

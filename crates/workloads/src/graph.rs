@@ -55,7 +55,11 @@ impl Graph {
             GraphLayout::NodeMajor => m.malloc(bytes),
             GraphLayout::GsDram => m.pattmalloc(bytes, true, PatternId(7)),
         };
-        let g = Graph { layout, nodes, base };
+        let g = Graph {
+            layout,
+            nodes,
+            base,
+        };
         for v in 0..nodes {
             for f in 0..8u64 {
                 m.poke(g.field_addr(v, f as usize), v * 8 + f);
@@ -76,7 +80,11 @@ pub fn scan(g: Graph, field: usize) -> IterProgram {
     let ops: Box<dyn Iterator<Item = Op>> = match g.layout {
         GraphLayout::NodeMajor => Box::new((0..g.nodes).flat_map(move |v| {
             [
-                Op::Load { pc: 0xD00, addr: g.field_addr(v, field), pattern: PatternId(0) },
+                Op::Load {
+                    pc: 0xD00,
+                    addr: g.field_addr(v, field),
+                    pattern: PatternId(0),
+                },
                 Op::Compute(1),
             ]
         })),
@@ -103,11 +111,33 @@ pub fn updates(g: Graph, count: u64, seed: u64) -> IterProgram {
     let ops = (0..count).flat_map(move |_| {
         let v = rng.below(g.nodes);
         [
-            Op::Load { pc: 0xD20, addr: g.field_addr(v, 0), pattern: PatternId(0) },
-            Op::Load { pc: 0xD21, addr: g.field_addr(v, 1), pattern: PatternId(0) },
-            Op::Load { pc: 0xD22, addr: g.field_addr(v, 2), pattern: PatternId(0) },
-            Op::Store { pc: 0xD23, addr: g.field_addr(v, 0), pattern: PatternId(0), value: rng.next_u64() },
-            Op::Store { pc: 0xD24, addr: g.field_addr(v, 3), pattern: PatternId(0), value: rng.next_u64() },
+            Op::Load {
+                pc: 0xD20,
+                addr: g.field_addr(v, 0),
+                pattern: PatternId(0),
+            },
+            Op::Load {
+                pc: 0xD21,
+                addr: g.field_addr(v, 1),
+                pattern: PatternId(0),
+            },
+            Op::Load {
+                pc: 0xD22,
+                addr: g.field_addr(v, 2),
+                pattern: PatternId(0),
+            },
+            Op::Store {
+                pc: 0xD23,
+                addr: g.field_addr(v, 0),
+                pattern: PatternId(0),
+                value: rng.next_u64(),
+            },
+            Op::Store {
+                pc: 0xD24,
+                addr: g.field_addr(v, 3),
+                pattern: PatternId(0),
+                value: rng.next_u64(),
+            },
             Op::Compute(8),
         ]
     });

@@ -66,7 +66,11 @@ impl Table {
             Layout::RowStore | Layout::ColumnStore => m.malloc(bytes),
             Layout::GsDram => m.pattmalloc(bytes, true, PatternId(7)),
         };
-        let table = Table { layout, tuples, base };
+        let table = Table {
+            layout,
+            tuples,
+            base,
+        };
         for t in 0..tuples {
             for f in 0..FIELDS as u64 {
                 m.poke(table.field_addr(t, f as usize), t * 8 + f);
@@ -106,14 +110,46 @@ pub struct TxnSpec {
 impl TxnSpec {
     /// The eight workloads of Figure 9, sorted by total fields accessed.
     pub const FIGURE9: [TxnSpec; 8] = [
-        TxnSpec { read_only: 1, write_only: 0, read_write: 1 },
-        TxnSpec { read_only: 2, write_only: 1, read_write: 0 },
-        TxnSpec { read_only: 0, write_only: 2, read_write: 2 },
-        TxnSpec { read_only: 2, write_only: 4, read_write: 0 },
-        TxnSpec { read_only: 5, write_only: 0, read_write: 1 },
-        TxnSpec { read_only: 2, write_only: 0, read_write: 4 },
-        TxnSpec { read_only: 6, write_only: 1, read_write: 0 },
-        TxnSpec { read_only: 4, write_only: 2, read_write: 2 },
+        TxnSpec {
+            read_only: 1,
+            write_only: 0,
+            read_write: 1,
+        },
+        TxnSpec {
+            read_only: 2,
+            write_only: 1,
+            read_write: 0,
+        },
+        TxnSpec {
+            read_only: 0,
+            write_only: 2,
+            read_write: 2,
+        },
+        TxnSpec {
+            read_only: 2,
+            write_only: 4,
+            read_write: 0,
+        },
+        TxnSpec {
+            read_only: 5,
+            write_only: 0,
+            read_write: 1,
+        },
+        TxnSpec {
+            read_only: 2,
+            write_only: 0,
+            read_write: 4,
+        },
+        TxnSpec {
+            read_only: 6,
+            write_only: 1,
+            read_write: 0,
+        },
+        TxnSpec {
+            read_only: 4,
+            write_only: 2,
+            read_write: 2,
+        },
     ];
 
     /// Label like "1-0-1" used on the Figure 9 x-axis.
@@ -149,7 +185,11 @@ pub fn transactions(table: Table, spec: TxnSpec, count: u64, seed: u64) -> IterP
         let mut idx = 0;
         for _ in 0..spec.read_only {
             let addr = table.field_addr(t, fields[idx]);
-            ops.push(Op::Load { pc: 0x100 + idx as u64, addr, pattern: PatternId(0) });
+            ops.push(Op::Load {
+                pc: 0x100 + idx as u64,
+                addr,
+                pattern: PatternId(0),
+            });
             ops.push(Op::Compute(10)); // per-field predicate/marshalling work
             idx += 1;
         }
@@ -166,7 +206,11 @@ pub fn transactions(table: Table, spec: TxnSpec, count: u64, seed: u64) -> IterP
         }
         for _ in 0..spec.read_write {
             let addr = table.field_addr(t, fields[idx]);
-            ops.push(Op::Load { pc: 0x300 + idx as u64, addr, pattern: PatternId(0) });
+            ops.push(Op::Load {
+                pc: 0x300 + idx as u64,
+                addr,
+                pattern: PatternId(0),
+            });
             ops.push(Op::Store {
                 pc: 0x400 + idx as u64,
                 addr,
@@ -258,11 +302,23 @@ mod tests {
 
     #[test]
     fn field_addresses_by_layout() {
-        let row = Table { layout: Layout::RowStore, tuples: 100, base: 0 };
+        let row = Table {
+            layout: Layout::RowStore,
+            tuples: 100,
+            base: 0,
+        };
         assert_eq!(row.field_addr(3, 2), 3 * 64 + 16);
-        let col = Table { layout: Layout::ColumnStore, tuples: 100, base: 0 };
+        let col = Table {
+            layout: Layout::ColumnStore,
+            tuples: 100,
+            base: 0,
+        };
         assert_eq!(col.field_addr(3, 2), 2 * 800 + 24);
-        let gs = Table { layout: Layout::GsDram, tuples: 100, base: 4096 };
+        let gs = Table {
+            layout: Layout::GsDram,
+            tuples: 100,
+            base: 4096,
+        };
         assert_eq!(gs.field_addr(3, 2), 4096 + 3 * 64 + 16);
     }
 
@@ -306,7 +362,11 @@ mod tests {
     fn transactions_complete_and_count() {
         let mut m = machine();
         let table = Table::create(&mut m, Layout::RowStore, 1024);
-        let spec = TxnSpec { read_only: 1, write_only: 1, read_write: 1 };
+        let spec = TxnSpec {
+            read_only: 1,
+            write_only: 1,
+            read_write: 1,
+        };
         let mut p = transactions(table, spec, 50, 7);
         let r = {
             let mut programs: Vec<&mut dyn Program> = vec![&mut p];
@@ -321,7 +381,11 @@ mod tests {
         let run = |layout| {
             let mut m = machine();
             let table = Table::create(&mut m, layout, 4096);
-            let spec = TxnSpec { read_only: 4, write_only: 2, read_write: 2 };
+            let spec = TxnSpec {
+                read_only: 4,
+                write_only: 2,
+                read_write: 2,
+            };
             let mut p = transactions(table, spec, 200, 11);
             let mut programs: Vec<&mut dyn Program> = vec![&mut p];
             m.run(&mut programs, StopWhen::AllDone)
@@ -342,7 +406,11 @@ mod tests {
         let run = |layout| {
             let mut m = machine();
             let table = Table::create(&mut m, layout, 4096);
-            let spec = TxnSpec { read_only: 2, write_only: 1, read_write: 0 };
+            let spec = TxnSpec {
+                read_only: 2,
+                write_only: 1,
+                read_write: 0,
+            };
             let mut p = transactions(table, spec, 200, 13);
             let mut programs: Vec<&mut dyn Program> = vec![&mut p];
             m.run(&mut programs, StopWhen::AllDone)
@@ -365,7 +433,11 @@ mod tests {
 
     #[test]
     fn expected_column_sum_formula() {
-        let t = Table { layout: Layout::RowStore, tuples: 4, base: 0 };
+        let t = Table {
+            layout: Layout::RowStore,
+            tuples: 4,
+            base: 0,
+        };
         // Σ_t (8t + f) for t in 0..4, f = 1: 1 + 9 + 17 + 25 = 52.
         assert_eq!(t.expected_column_sum(1), 52);
     }

@@ -51,7 +51,11 @@ impl KvStore {
             KvLayout::Interleaved => m.malloc(bytes),
             KvLayout::GsDram => m.pattmalloc(bytes, true, PatternId(1)),
         };
-        let kv = KvStore { layout, pairs, base };
+        let kv = KvStore {
+            layout,
+            pairs,
+            base,
+        };
         for i in 0..pairs {
             m.poke(kv.key_addr(i), i * 2 + 1);
             m.poke(kv.value_addr(i), i * 2 + 2);
@@ -98,7 +102,11 @@ pub fn lookups(kv: KvStore, scan_len: u64, lookups: u64, seed: u64) -> IterProgr
         match kv.layout {
             KvLayout::Interleaved => {
                 for i in 0..=target {
-                    v.push(Op::Load { pc: 0xC00, addr: kv.key_addr(i), pattern: PatternId(0) });
+                    v.push(Op::Load {
+                        pc: 0xC00,
+                        addr: kv.key_addr(i),
+                        pattern: PatternId(0),
+                    });
                     v.push(Op::Compute(1)); // compare + branch
                 }
             }
@@ -113,7 +121,11 @@ pub fn lookups(kv: KvStore, scan_len: u64, lookups: u64, seed: u64) -> IterProgr
                 }
             }
         }
-        v.push(Op::Load { pc: 0xC20, addr: kv.value_addr(target), pattern: PatternId(0) });
+        v.push(Op::Load {
+            pc: 0xC20,
+            addr: kv.value_addr(target),
+            pattern: PatternId(0),
+        });
         v.push(Op::Compute(5));
         v
     });
@@ -127,8 +139,18 @@ pub fn inserts(kv: KvStore, count: u64, seed: u64) -> IterProgram {
     let ops = (0..count).flat_map(move |_| {
         let i = rng.below(kv.pairs);
         [
-            Op::Store { pc: 0xC30, addr: kv.key_addr(i), pattern: PatternId(0), value: rng.next_u64() | 1 },
-            Op::Store { pc: 0xC40, addr: kv.value_addr(i), pattern: PatternId(0), value: rng.next_u64() },
+            Op::Store {
+                pc: 0xC30,
+                addr: kv.key_addr(i),
+                pattern: PatternId(0),
+                value: rng.next_u64() | 1,
+            },
+            Op::Store {
+                pc: 0xC40,
+                addr: kv.value_addr(i),
+                pattern: PatternId(0),
+                value: rng.next_u64(),
+            },
             Op::Compute(5),
         ]
     });
@@ -155,7 +177,11 @@ mod tests {
         let mut m = Machine::new(SystemConfig::table1(1, 8 << 20));
         let kv = KvStore::create(&mut m, KvLayout::GsDram, 256);
         let ops: Vec<Op> = (0..32)
-            .map(|i| Op::Load { pc: 1, addr: kv.key_gather_addr(i), pattern: PatternId(1) })
+            .map(|i| Op::Load {
+                pc: 1,
+                addr: kv.key_gather_addr(i),
+                pattern: PatternId(1),
+            })
             .collect();
         let mut p = gsdram_system::ops::ScriptedProgram::new(ops);
         {

@@ -59,7 +59,12 @@ impl Transpose {
             TransposeLayout::GsDram => m.pattmalloc(bytes, true, PatternId(7)),
         };
         let dst = m.malloc(bytes);
-        let t = Transpose { layout, n, src, dst };
+        let t = Transpose {
+            layout,
+            n,
+            src,
+            dst,
+        };
         for i in 0..n {
             for j in 0..n {
                 m.poke(t.src_addr(i, j), (i * n + j) as u64);
@@ -203,6 +208,11 @@ mod tests {
             gs.dram.reads,
             row.dram.reads
         );
-        assert!(gs.cpu_cycles < row.cpu_cycles, "gs {} row {}", gs.cpu_cycles, row.cpu_cycles);
+        assert!(
+            gs.cpu_cycles < row.cpu_cycles,
+            "gs {} row {}",
+            gs.cpu_cycles,
+            row.cpu_cycles
+        );
     }
 }

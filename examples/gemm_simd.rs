@@ -19,21 +19,31 @@ fn main() {
     let g = Gemm::create(&mut m, n, GemmVariant::GsDram { tile: 32 });
     g.init(&mut m);
     let ops: Vec<Op> = (0..8)
-        .map(|k| Op::Load { pc: 1, addr: g.b_gather_addr(k, 5), pattern: PatternId(7) })
+        .map(|k| Op::Load {
+            pc: 1,
+            addr: g.b_gather_addr(k, 5),
+            pattern: PatternId(7),
+        })
         .collect();
     let mut probe = ScriptedProgram::new(ops);
     {
         let mut programs: Vec<&mut dyn Program> = vec![&mut probe];
         m.run(&mut programs, StopWhen::AllDone);
     }
-    println!("column 5 of B's first tile via ONE gathered line: {:?}", probe.loaded_values());
+    println!(
+        "column 5 of B's first tile via ONE gathered line: {:?}",
+        probe.loaded_values()
+    );
     let want: Vec<u64> = (0..8).map(|k| (k * n + 5 + 1) as u64).collect();
     assert_eq!(probe.loaded_values(), &want[..]);
 
     // Part 2: timing — baseline software gather vs pattern loads.
     println!();
     println!("{n}x{n} GEMM, dot-product SIMD, register-blocked micro-kernel:");
-    println!("{:<18} {:>12} {:>12} {:>14}", "variant", "Mcycles", "Mops", "energy (mJ)");
+    println!(
+        "{:<18} {:>12} {:>12} {:>14}",
+        "variant", "Mcycles", "Mops", "energy (mJ)"
+    );
     let mut cycles = Vec::new();
     for variant in [
         GemmVariant::Naive,

@@ -25,7 +25,11 @@ fn main() {
         let mut m = Machine::new(cfg);
         let table = Table::create(&mut m, layout, tuples);
         let mut anal = analytics(table, &[0]);
-        let spec = TxnSpec { read_only: 1, write_only: 1, read_write: 0 };
+        let spec = TxnSpec {
+            read_only: 1,
+            write_only: 1,
+            read_write: 0,
+        };
         let mut txn = transactions(table, spec, u64::MAX, 2026);
         let r = {
             let mut programs: Vec<&mut dyn Program> = vec![&mut anal, &mut txn];

@@ -41,7 +41,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("READ col 11, pattern 7 -> field 3 of 8..16 = {field3b:?}");
 
     // Scatter: update field 0 of tuples 0..8 with one WRITE command.
-    dram.write_line(RowId(0), ColumnId(0), PatternId(7), true, &[90, 91, 92, 93, 94, 95, 96, 97])?;
+    dram.write_line(
+        RowId(0),
+        ColumnId(0),
+        PatternId(7),
+        true,
+        &[90, 91, 92, 93, 94, 95, 96, 97],
+    )?;
     let tuple2 = dram.read_line(RowId(0), ColumnId(2), PatternId(0), true)?;
     println!("after pattern-7 scatter, tuple 2          = {tuple2:?}");
     assert_eq!(tuple2[0], 92);

@@ -5,7 +5,7 @@
 //!
 //! Run: `cargo run --example stride_planner`
 
-use gsdram::core::plan::{baseline_commands, plan_stride, plan_stats};
+use gsdram::core::plan::{baseline_commands, plan_stats, plan_stride};
 use gsdram::core::GsDramConfig;
 
 fn main() {

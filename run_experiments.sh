@@ -1,19 +1,37 @@
 #!/bin/bash
-# Regenerates every table/figure of the paper at full scale (1M-tuple
-# table, 10000 transactions, GEMM up to 1024) — see EXPERIMENTS.md.
+# Regenerates every table/figure/ablation/extension of the paper at
+# full scale (1M-tuple table, 10000 transactions, GEMM up to 1024)
+# through the experiment registry: one `gsdram-sim sweep <name>` per
+# experiment, each emitting a human-readable transcript (results/*.txt)
+# and the full stats tree (results/*.json). Extra flags are forwarded
+# to every sweep (e.g. `./run_experiments.sh --serial` or
+# `./run_experiments.sh --tuples 65536` for a quick pass).
 set -e
 cd "$(dirname "$0")"
 R=results
-run() { echo "=== $1 ==="; shift; cargo run -q --release -p gsdram-bench --bin "$@"; }
-run fig7  fig7_patterns                     | tee $R/fig07.txt
-run fig9  fig09_transactions                | tee $R/fig09.txt
-run fig10 fig10_analytics                   | tee $R/fig10.txt
-run fig11 fig11_htap                        | tee $R/fig11.txt
-run fig12 fig12_summary                     | tee $R/fig12.txt
-run fig13 fig13_gemm                        | tee $R/fig13.txt
-run ablation_shuffle   ablation_shuffle     | tee $R/ablation_shuffle.txt
-run ablation_patterns  ablation_patterns    | tee $R/ablation_patterns.txt
-run ablation_scheduler ablation_scheduler   | tee $R/ablation_scheduler.txt
-run ablation_impulse   ablation_impulse     | tee $R/ablation_impulse.txt
-run extras extras_kvstore_graph             | tee $R/extras.txt
+mkdir -p "$R"
+cargo build -q --release -p gsdram-cli
+EXPERIMENTS="
+fig7
+fig9
+fig10
+fig11
+fig12
+fig13
+ablation_shuffle
+ablation_patterns
+ablation_sectored
+ablation_scheduler
+ablation_row_policy
+ablation_impulse
+extension_ecc
+extension_filter
+extension_transpose
+extras_kvstore_graph
+"
+for exp in $EXPERIMENTS; do
+    echo "=== $exp ==="
+    cargo run -q --release -p gsdram-cli -- sweep "$exp" \
+        --json "$R/$exp.json" "$@" | tee "$R/$exp.txt"
+done
 echo ALL_EXPERIMENTS_DONE

@@ -32,7 +32,11 @@ fn write_read_interleaving_across_patterns() {
                 value: round * 100 + t,
             });
             // Gathered read of field 0 of tuples 0..8, word t.
-            ops.push(Op::Load { pc: 2, addr: base + 8 * t, pattern: PatternId(7) });
+            ops.push(Op::Load {
+                pc: 2,
+                addr: base + 8 * t,
+                pattern: PatternId(7),
+            });
         }
     }
     let mut p = ScriptedProgram::new(ops);
@@ -52,11 +56,20 @@ fn dirty_gathered_line_flushed_before_tuple_fetch() {
     let mut ops = Vec::new();
     // pattstore field 0 of tuples 0..8 (dirty pattern-7 line).
     for k in 0..8u64 {
-        ops.push(Op::Store { pc: 1, addr: base + 8 * k, pattern: PatternId(7), value: 40 + k });
+        ops.push(Op::Store {
+            pc: 1,
+            addr: base + 8 * k,
+            pattern: PatternId(7),
+            value: 40 + k,
+        });
     }
     // Then read each tuple's field 0 through pattern 0.
     for t in 0..8u64 {
-        ops.push(Op::Load { pc: 2, addr: base + t * 64, pattern: PatternId(0) });
+        ops.push(Op::Load {
+            pc: 2,
+            addr: base + t * 64,
+            pattern: PatternId(0),
+        });
     }
     let mut p = ScriptedProgram::new(ops);
     run_one(&mut m, &mut p);
@@ -76,14 +89,27 @@ fn cross_core_overlap_invalidation() {
     }
     // Core 1 warms the gathered field-0 line, waits, then re-reads it.
     let mut p1 = ScriptedProgram::new(vec![
-        Op::Load { pc: 1, addr: base, pattern: PatternId(7) },
+        Op::Load {
+            pc: 1,
+            addr: base,
+            pattern: PatternId(7),
+        },
         Op::Compute(20_000),
-        Op::Load { pc: 2, addr: base + 8 * 3, pattern: PatternId(7) }, // word 3
+        Op::Load {
+            pc: 2,
+            addr: base + 8 * 3,
+            pattern: PatternId(7),
+        }, // word 3
     ]);
     // Core 0 meanwhile stores to tuple 3 field 0 through pattern 0.
     let mut p0 = ScriptedProgram::new(vec![
         Op::Compute(5_000),
-        Op::Store { pc: 3, addr: base + 3 * 64, pattern: PatternId(0), value: 999 },
+        Op::Store {
+            pc: 3,
+            addr: base + 3 * 64,
+            pattern: PatternId(0),
+            value: 999,
+        },
     ]);
     {
         let mut programs: Vec<&mut dyn Program> = vec![&mut p0, &mut p1];
@@ -105,10 +131,26 @@ fn pattern_tagged_lines_coexist() {
         }
     }
     let mut p = ScriptedProgram::new(vec![
-        Op::Load { pc: 1, addr: base, pattern: PatternId(0) }, // tuple 0, field 0
-        Op::Load { pc: 2, addr: base, pattern: PatternId(7) }, // field 0, tuple 0
-        Op::Load { pc: 3, addr: base + 8, pattern: PatternId(0) }, // tuple 0, field 1
-        Op::Load { pc: 4, addr: base + 8, pattern: PatternId(7) }, // field 0, tuple 1
+        Op::Load {
+            pc: 1,
+            addr: base,
+            pattern: PatternId(0),
+        }, // tuple 0, field 0
+        Op::Load {
+            pc: 2,
+            addr: base,
+            pattern: PatternId(7),
+        }, // field 0, tuple 0
+        Op::Load {
+            pc: 3,
+            addr: base + 8,
+            pattern: PatternId(0),
+        }, // tuple 0, field 1
+        Op::Load {
+            pc: 4,
+            addr: base + 8,
+            pattern: PatternId(7),
+        }, // field 0, tuple 1
     ]);
     let r = run_one(&mut m, &mut p);
     assert_eq!(p.loaded_values(), &[0, 0, 1, 10]);
@@ -155,9 +197,19 @@ fn drained_memory_matches_program_history() {
     let mut ops = Vec::new();
     // Alternate: scatter via pattern 7, overwrite one via pattern 0.
     for k in 0..8u64 {
-        ops.push(Op::Store { pc: 1, addr: base + 8 * k, pattern: PatternId(7), value: 70 + k });
+        ops.push(Op::Store {
+            pc: 1,
+            addr: base + 8 * k,
+            pattern: PatternId(7),
+            value: 70 + k,
+        });
     }
-    ops.push(Op::Store { pc: 2, addr: base + 5 * 64, pattern: PatternId(0), value: 1234 });
+    ops.push(Op::Store {
+        pc: 2,
+        addr: base + 5 * 64,
+        pattern: PatternId(0),
+        value: 1234,
+    });
     let mut p = ScriptedProgram::new(ops);
     run_one(&mut m, &mut p);
     m.drain_caches();

@@ -56,7 +56,11 @@ fn transactions_deterministic_across_ranks() {
     let run = |ranks: usize| {
         let mut m = Machine::new(SystemConfig::table1(1, 8 << 20).with_ranks(ranks));
         let table = Table::create(&mut m, Layout::GsDram, 2048);
-        let spec = TxnSpec { read_only: 1, write_only: 2, read_write: 1 };
+        let spec = TxnSpec {
+            read_only: 1,
+            write_only: 2,
+            read_write: 1,
+        };
         let mut p = transactions(table, spec, 300, 99);
         {
             let mut programs: Vec<&mut dyn Program> = vec![&mut p];
@@ -82,7 +86,11 @@ fn workload_trace_round_trips_through_a_real_run() {
         (m, table)
     };
     let (mut m1, table1) = build();
-    let spec = TxnSpec { read_only: 2, write_only: 1, read_write: 0 };
+    let spec = TxnSpec {
+        read_only: 2,
+        write_only: 1,
+        read_write: 0,
+    };
     let inner = transactions(table1, spec, 200, 7);
     let mut rec = TraceRecorder::new(inner, Vec::new());
     let r1 = {

@@ -6,14 +6,18 @@
 //! return, and the drained final memory image must match exactly. This
 //! catches coherence bugs (stale overlapping lines, missed flushes,
 //! wrong scatter routing) that no single-scenario test would.
+//!
+//! Op streams come from a deterministic PRNG
+//! ([`gsdram::core::rng::SplitMix`]) instead of `proptest`, keeping the
+//! workspace dependency-free and failures bit-reproducible.
 
 use gsdram::cache::cache::LineKey;
 use gsdram::cache::overlap::OverlapCalc;
+use gsdram::core::rng::SplitMix;
 use gsdram::core::{GsDramConfig, PatternId};
 use gsdram::system::config::SystemConfig;
 use gsdram::system::machine::{Machine, StopWhen};
 use gsdram::system::ops::{Op, Program, ScriptedProgram};
-use proptest::prelude::*;
 use std::collections::HashMap;
 
 /// The flat-memory address a `(byte address, pattern)` access actually
@@ -33,13 +37,20 @@ struct RawOp {
     write: Option<u64>,
 }
 
-fn raw_ops() -> impl Strategy<Value = Vec<RawOp>> {
-    proptest::collection::vec(
-        (0u16..64, 0u8..8, any::<bool>(), proptest::option::of(any::<u64>())).prop_map(
-            |(tuple, field, pattern_alt, write)| RawOp { tuple, field, pattern_alt, write },
-        ),
-        1..200,
-    )
+fn raw_ops(rng: &mut SplitMix) -> Vec<RawOp> {
+    let n = rng.range(1, 200) as usize;
+    (0..n)
+        .map(|_| RawOp {
+            tuple: rng.below(64) as u16,
+            field: rng.below(8) as u8,
+            pattern_alt: rng.flip(),
+            write: if rng.flip() {
+                Some(rng.next_u64())
+            } else {
+                None
+            },
+        })
+        .collect()
 }
 
 /// Converts a raw op to a machine op plus its reference flat address.
@@ -52,21 +63,39 @@ fn to_op(base: u64, r: &RawOp) -> (Op, PatternId, u64) {
         let group = (r.tuple as u64) & !7;
         let addr = base + (group + r.field as u64) * 64 + ((r.tuple as u64) % 8) * 8;
         let op = match r.write {
-            Some(v) => Op::Store { pc: 1, addr, pattern: PatternId(7), value: v },
-            None => Op::Load { pc: 2, addr, pattern: PatternId(7) },
+            Some(v) => Op::Store {
+                pc: 1,
+                addr,
+                pattern: PatternId(7),
+                value: v,
+            },
+            None => Op::Load {
+                pc: 2,
+                addr,
+                pattern: PatternId(7),
+            },
         };
         (op, PatternId(7), addr)
     } else {
         let addr = base + (r.tuple as u64) * 64 + (r.field as u64) * 8;
         let op = match r.write {
-            Some(v) => Op::Store { pc: 3, addr, pattern: PatternId(0), value: v },
-            None => Op::Load { pc: 4, addr, pattern: PatternId(0) },
+            Some(v) => Op::Store {
+                pc: 3,
+                addr,
+                pattern: PatternId(0),
+                value: v,
+            },
+            None => Op::Load {
+                pc: 4,
+                addr,
+                pattern: PatternId(0),
+            },
         };
         (op, PatternId(0), addr)
     }
 }
 
-fn run_differential(ops: Vec<RawOp>, prefetch: bool, impulse: bool) -> Result<(), TestCaseError> {
+fn run_differential(ops: Vec<RawOp>, prefetch: bool, impulse: bool) {
     let tuples: u64 = 64;
     let cfg = SystemConfig::table1(1, 4 << 20);
     let cfg = if prefetch { cfg.with_prefetch() } else { cfg };
@@ -107,47 +136,59 @@ fn run_differential(ops: Vec<RawOp>, prefetch: bool, impulse: bool) -> Result<()
         let mut programs: Vec<&mut dyn Program> = vec![&mut p];
         m.run(&mut programs, StopWhen::AllDone);
     }
-    prop_assert_eq!(p.loaded_values(), &expected_loads[..], "loaded values diverge");
+    assert_eq!(
+        p.loaded_values(),
+        &expected_loads[..],
+        "loaded values diverge"
+    );
 
     // Final memory image must match the reference exactly.
     m.drain_caches();
     for (a, v) in &flat {
-        prop_assert_eq!(m.peek(*a), *v, "final memory diverges at {:#x}", a);
+        assert_eq!(m.peek(*a), *v, "final memory diverges at {a:#x}");
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: usize = 48;
 
-    /// Single-core machine ≡ flat memory, mixed patterns, no prefetch.
-    #[test]
-    fn machine_matches_flat_memory(ops in raw_ops()) {
-        run_differential(ops, false, false)?;
+/// Single-core machine ≡ flat memory, mixed patterns, no prefetch.
+#[test]
+fn machine_matches_flat_memory() {
+    let mut rng = SplitMix(0xD1F1);
+    for _ in 0..CASES {
+        run_differential(raw_ops(&mut rng), false, false);
     }
+}
 
-    /// Same with the prefetcher enabled (prefetches must never corrupt
-    /// or stale-fill).
-    #[test]
-    fn machine_matches_flat_memory_with_prefetch(ops in raw_ops()) {
-        run_differential(ops, true, false)?;
+/// Same with the prefetcher enabled (prefetches must never corrupt or
+/// stale-fill).
+#[test]
+fn machine_matches_flat_memory_with_prefetch() {
+    let mut rng = SplitMix(0xD1F2);
+    for _ in 0..CASES {
+        run_differential(raw_ops(&mut rng), true, false);
     }
+}
 
-    /// The Impulse-baseline machine (controller-side gather over a
-    /// commodity module) is functionally identical to flat memory too —
-    /// the §7 comparison differs only in timing/traffic, never in data.
-    #[test]
-    fn impulse_machine_matches_flat_memory(ops in raw_ops()) {
-        run_differential(ops, false, true)?;
+/// The Impulse-baseline machine (controller-side gather over a
+/// commodity module) is functionally identical to flat memory too —
+/// the §7 comparison differs only in timing/traffic, never in data.
+#[test]
+fn impulse_machine_matches_flat_memory() {
+    let mut rng = SplitMix(0xD1F3);
+    for _ in 0..CASES {
+        run_differential(raw_ops(&mut rng), false, true);
     }
+}
 
-    /// Two cores on disjoint tuple ranges: per-core load values match
-    /// the reference, and the merged final image is exact.
-    #[test]
-    fn two_core_disjoint_matches_flat_memory(
-        ops0 in raw_ops(),
-        ops1 in raw_ops(),
-    ) {
+/// Two cores on disjoint tuple ranges: per-core load values match the
+/// reference, and the merged final image is exact.
+#[test]
+fn two_core_disjoint_matches_flat_memory() {
+    let mut rng = SplitMix(0xD1F4);
+    for _ in 0..CASES {
+        let ops0 = raw_ops(&mut rng);
+        let ops1 = raw_ops(&mut rng);
         let tuples: u64 = 64;
         let mut m = Machine::new(SystemConfig::table1(2, 4 << 20));
         let base = m.pattmalloc(tuples * 64, true, PatternId(7));
@@ -164,7 +205,10 @@ proptest! {
         // Core 0 owns tuple groups 0..4 (tuples 0..32); core 1 owns
         // 32..64. Pattern-7 lines never cross the 8-tuple group
         // boundary, so the cores touch disjoint data.
-        let confine = |r: &RawOp, lo: u16| RawOp { tuple: lo + r.tuple % 32, ..r.clone() };
+        let confine = |r: &RawOp, lo: u16| RawOp {
+            tuple: lo + r.tuple % 32,
+            ..r.clone()
+        };
         let mut progs = Vec::new();
         let mut expected: Vec<Vec<u64>> = Vec::new();
         for (ops, lo) in [(&ops0, 0u16), (&ops1, 32u16)] {
@@ -191,11 +235,11 @@ proptest! {
             let mut programs: Vec<&mut dyn Program> = vec![p0, p1];
             m.run(&mut programs, StopWhen::AllDone);
         }
-        prop_assert_eq!(progs[0].loaded_values(), &expected[0][..]);
-        prop_assert_eq!(progs[1].loaded_values(), &expected[1][..]);
+        assert_eq!(progs[0].loaded_values(), &expected[0][..]);
+        assert_eq!(progs[1].loaded_values(), &expected[1][..]);
         m.drain_caches();
         for (a, v) in &flat {
-            prop_assert_eq!(m.peek(*a), *v, "final memory diverges at {:#x}", a);
+            assert_eq!(m.peek(*a), *v, "final memory diverges at {a:#x}");
         }
     }
 }

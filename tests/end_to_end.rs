@@ -26,7 +26,12 @@ fn column_sums_identical_across_all_layouts_and_columns() {
         for f in 0..8 {
             let mut p = analytics(table, &[f]);
             let r = run_one(&mut m, &mut p);
-            assert_eq!(r.results[0], table.expected_column_sum(f), "{} f{f}", layout.label());
+            assert_eq!(
+                r.results[0],
+                table.expected_column_sum(f),
+                "{} f{f}",
+                layout.label()
+            );
             per_layout.push(r.results[0]);
         }
         sums.push(per_layout);
@@ -91,7 +96,11 @@ fn gathered_writes_visible_to_tuple_reads() {
         }
     }
     for t in 0..64u64 {
-        ops.push(Op::Load { pc: 2, addr: table.field_addr(t, 2), pattern: PatternId(0) });
+        ops.push(Op::Load {
+            pc: 2,
+            addr: table.field_addr(t, 2),
+            pattern: PatternId(0),
+        });
     }
     let mut p = ScriptedProgram::new(ops);
     run_one(&mut m, &mut p);
@@ -104,7 +113,11 @@ fn transaction_workload_is_deterministic() {
     let run = || {
         let mut m = machine(1);
         let table = Table::create(&mut m, Layout::RowStore, 4096);
-        let spec = TxnSpec { read_only: 2, write_only: 1, read_write: 1 };
+        let spec = TxnSpec {
+            read_only: 2,
+            write_only: 1,
+            read_write: 1,
+        };
         let mut p = transactions(table, spec, 300, 77);
         let r = run_one(&mut m, &mut p);
         (r.cpu_cycles, r.results[0], r.dram.reads)
@@ -135,7 +148,11 @@ fn gsdram_transaction_overhead_is_negligible() {
     let run = |layout| {
         let mut m = machine(1);
         let table = Table::create(&mut m, layout, 8192);
-        let spec = TxnSpec { read_only: 5, write_only: 0, read_write: 1 };
+        let spec = TxnSpec {
+            read_only: 5,
+            write_only: 0,
+            read_write: 1,
+        };
         let mut p = transactions(table, spec, 400, 5);
         run_one(&mut m, &mut p).cpu_cycles
     };
@@ -149,7 +166,11 @@ fn htap_runs_both_cores_and_stops_with_analytics() {
     let mut m = machine(2);
     let table = Table::create(&mut m, Layout::GsDram, 4096);
     let mut anal = analytics(table, &[0]);
-    let spec = TxnSpec { read_only: 1, write_only: 1, read_write: 0 };
+    let spec = TxnSpec {
+        read_only: 1,
+        write_only: 1,
+        read_write: 0,
+    };
     let mut txn = transactions(table, spec, u64::MAX, 3);
     let r = {
         let mut programs: Vec<&mut dyn Program> = vec![&mut anal, &mut txn];

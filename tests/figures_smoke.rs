@@ -27,8 +27,16 @@ fn run_imdb(
 /// degrading with the number of fields.
 #[test]
 fn figure9_shape() {
-    let spec_small = TxnSpec { read_only: 1, write_only: 0, read_write: 1 };
-    let spec_large = TxnSpec { read_only: 4, write_only: 2, read_write: 2 };
+    let spec_small = TxnSpec {
+        read_only: 1,
+        write_only: 0,
+        read_write: 1,
+    };
+    let spec_large = TxnSpec {
+        read_only: 4,
+        write_only: 2,
+        read_write: 2,
+    };
     let cycles = |layout, spec| {
         run_imdb(layout, false, 16 * 1024, |t| transactions(t, spec, 500, 42)).cpu_cycles as f64
     };
@@ -52,14 +60,16 @@ fn figure9_shape() {
 /// Store; prefetching improves everyone.
 #[test]
 fn figure10_shape() {
-    let cycles = |layout, pref| {
-        run_imdb(layout, pref, 32 * 1024, |t| analytics(t, &[0])).cpu_cycles as f64
-    };
+    let cycles =
+        |layout, pref| run_imdb(layout, pref, 32 * 1024, |t| analytics(t, &[0])).cpu_cycles as f64;
     for pref in [false, true] {
         let row = cycles(Layout::RowStore, pref);
         let col = cycles(Layout::ColumnStore, pref);
         let gs = cycles(Layout::GsDram, pref);
-        assert!((gs / col - 1.0).abs() < 0.2, "GS must track Column Store (pref={pref})");
+        assert!(
+            (gs / col - 1.0).abs() < 0.2,
+            "GS must track Column Store (pref={pref})"
+        );
         assert!(row > 1.8 * gs, "Row Store must lag GS (pref={pref})");
     }
     for layout in Layout::ALL {
@@ -84,7 +94,11 @@ fn figure11_shape() {
         let mut m = Machine::new(cfg);
         let table = Table::create(&mut m, layout, tuples);
         let mut anal = analytics(table, &[0]);
-        let spec = TxnSpec { read_only: 1, write_only: 1, read_write: 0 };
+        let spec = TxnSpec {
+            read_only: 1,
+            write_only: 1,
+            read_write: 0,
+        };
         let mut txn = transactions(table, spec, u64::MAX, 99);
         let r = {
             let mut programs: Vec<&mut dyn Program> = vec![&mut anal, &mut txn];
@@ -97,8 +111,14 @@ fn figure11_shape() {
     let (col_t, col_thr) = run(Layout::ColumnStore);
     let (gs_t, gs_thr) = run(Layout::GsDram);
     assert!(gs_t < 0.5 * row_t, "analytics: GS must beat Row Store");
-    assert!((gs_t / col_t - 1.0).abs() < 0.25, "analytics: GS tracks Column Store");
-    assert!(gs_thr > row_thr, "throughput: GS must beat the starved Row Store");
+    assert!(
+        (gs_t / col_t - 1.0).abs() < 0.25,
+        "analytics: GS tracks Column Store"
+    );
+    assert!(
+        gs_thr > row_thr,
+        "throughput: GS must beat the starved Row Store"
+    );
     assert!(gs_thr > col_thr, "throughput: GS must beat Column Store");
 }
 
@@ -106,7 +126,11 @@ fn figure11_shape() {
 /// GS ≈ Column for analytics (Row ≥ 2×).
 #[test]
 fn figure12_energy_shape() {
-    let spec = TxnSpec { read_only: 2, write_only: 1, read_write: 0 };
+    let spec = TxnSpec {
+        read_only: 2,
+        write_only: 1,
+        read_write: 0,
+    };
     let txn_e = |layout| {
         run_imdb(layout, false, 16 * 1024, |t| transactions(t, spec, 500, 42))
             .energy
@@ -119,7 +143,9 @@ fn figure12_energy_shape() {
     assert!(col > 1.5 * gs);
 
     let anal_e = |layout| {
-        run_imdb(layout, true, 32 * 1024, |t| analytics(t, &[0])).energy.total_mj()
+        run_imdb(layout, true, 32 * 1024, |t| analytics(t, &[0]))
+            .energy
+            .total_mj()
     };
     let row = anal_e(Layout::RowStore);
     let col = anal_e(Layout::ColumnStore);
@@ -145,5 +171,8 @@ fn figure13_shape() {
     let gs = run(GemmVariant::GsDram { tile: 32 });
     assert!(simd < 0.7 * naive, "tiling must beat naive");
     let gain = 1.0 - gs / simd;
-    assert!(gain > 0.03 && gain < 0.30, "GS gain {gain} outside plausible band");
+    assert!(
+        gain > 0.03 && gain < 0.30,
+        "GS gain {gain} outside plausible band"
+    );
 }
