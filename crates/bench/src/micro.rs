@@ -40,7 +40,7 @@ impl Runner {
     }
 
     /// Times `f`, doubling the iteration count until the measurement
-    /// loop runs for [`TARGET`], then prints ns/iter. Expensive bodies
+    /// loop runs for the target duration, then prints ns/iter. Expensive bodies
     /// (one iteration already past the target) are reported from a
     /// single iteration.
     pub fn bench<F: FnMut()>(&self, name: &str, mut f: F) {

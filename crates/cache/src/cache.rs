@@ -300,6 +300,17 @@ impl SetAssocCache {
         })
     }
 
+    /// [`SetAssocCache::fill`] from a borrowed line: callers holding a
+    /// scratch buffer (the DRAM bridge's line path) install a copy
+    /// without first cloning into an owned `Vec` at the call site.
+    ///
+    /// # Panics
+    ///
+    /// As [`SetAssocCache::fill`].
+    pub fn fill_from(&mut self, key: LineKey, data: &[u64]) -> Option<EvictedLine> {
+        self.fill(key, data.to_vec())
+    }
+
     /// Removes `key` if present; returns it (for writeback when dirty).
     pub fn invalidate(&mut self, key: LineKey) -> Option<EvictedLine> {
         let set = self.set_index(key);

@@ -14,7 +14,9 @@
 //! row's address range.
 
 use crate::cache::LineKey;
-use gsdram_core::{column_containing, gathered_elements, ColumnId, GsDramConfig, PatternId};
+use gsdram_core::{
+    column_containing, gathered_elements, gathered_elements_into, ColumnId, GsDramConfig, PatternId,
+};
 
 /// Computes overlaps between pattern-tagged lines for a given module
 /// configuration and row geometry.
@@ -23,6 +25,9 @@ pub struct OverlapCalc {
     cfg: GsDramConfig,
     line_bytes: u64,
     cols_per_row: u64,
+    /// Element scratch for [`OverlapCalc::word_addresses_into`], reused
+    /// across calls so the per-access line path never allocates.
+    elems: Vec<usize>,
 }
 
 impl OverlapCalc {
@@ -33,6 +38,7 @@ impl OverlapCalc {
             cfg,
             line_bytes,
             cols_per_row,
+            elems: Vec::new(),
         }
     }
 
@@ -63,6 +69,18 @@ impl OverlapCalc {
             .into_iter()
             .map(|e| self.element_addr(row_base, e))
             .collect()
+    }
+
+    /// [`OverlapCalc::word_addresses`] into a caller-provided buffer
+    /// (cleared first). Takes `&mut self` for an internal element
+    /// scratch; the per-access line path allocates nothing.
+    pub fn word_addresses_into(&mut self, key: LineKey, shuffled: bool, out: &mut Vec<u64>) {
+        let (row_base, col) = self.split(key.addr);
+        let mut elems = std::mem::take(&mut self.elems);
+        gathered_elements_into(&self.cfg, key.pattern, col, shuffled, &mut elems);
+        out.clear();
+        out.extend(elems.iter().map(|&e| self.element_addr(row_base, e)));
+        self.elems = elems;
     }
 
     /// The lines of pattern `other` that share at least one word with
@@ -120,6 +138,24 @@ mod tests {
         let words = c.word_addresses(key, true);
         let want: Vec<u64> = (0..8).map(|i| 0x2000 + i * 8).collect();
         assert_eq!(words, want);
+    }
+
+    #[test]
+    fn word_addresses_into_matches_allocating_form() {
+        let mut c = calc();
+        let mut buf = vec![0xdead; 3]; // stale contents must be cleared
+        for p in [0u8, 3, 7] {
+            for col in 0..8u64 {
+                let key = LineKey {
+                    addr: col * 64,
+                    pattern: PatternId(p),
+                };
+                for shuffled in [false, true] {
+                    c.word_addresses_into(key, shuffled, &mut buf);
+                    assert_eq!(buf, c.word_addresses(key, shuffled), "{key:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -118,15 +118,18 @@ impl ColumnTranslationLogic {
 /// width, the §6.2 wide-pattern-ID replication is applied.
 pub fn ctl_bank(cfg: &GsDramConfig) -> Vec<ColumnTranslationLogic> {
     (0..cfg.chips() as u8)
-        .map(|i| {
-            let chip = ChipId(i);
-            if cfg.pattern_bits() > cfg.chip_bits() {
-                ColumnTranslationLogic::with_wide_id(chip, cfg.chip_bits(), cfg.pattern_bits())
-            } else {
-                ColumnTranslationLogic::without_wide_id(chip, cfg.chip_bits())
-            }
-        })
+        .map(|i| ctl_for(cfg, ChipId(i)))
         .collect()
+}
+
+/// The CTL instance for one chip of a module — [`ctl_bank`] without the
+/// allocation, for callers that iterate chips themselves.
+pub fn ctl_for(cfg: &GsDramConfig, chip: ChipId) -> ColumnTranslationLogic {
+    if cfg.pattern_bits() > cfg.chip_bits() {
+        ColumnTranslationLogic::with_wide_id(chip, cfg.chip_bits(), cfg.pattern_bits())
+    } else {
+        ColumnTranslationLogic::without_wide_id(chip, cfg.chip_bits())
+    }
 }
 
 /// Replicates a `chip_bits`-wide chip ID to `pattern_bits` bits (§6.2).

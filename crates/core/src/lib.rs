@@ -57,6 +57,7 @@ mod ids;
 pub mod mat;
 mod module;
 pub mod plan;
+pub mod port;
 pub mod rng;
 pub mod shuffle;
 pub mod stats;
@@ -64,4 +65,7 @@ pub mod stats;
 pub use config::{Geometry, GsDramConfig};
 pub use error::{AccessError, ConfigError};
 pub use ids::{ChipId, ColumnId, PatternId, RowId};
-pub use module::{column_containing, gather_slots, gathered_elements, GatherSlot, GsModule};
+pub use module::{
+    column_containing, gather_slots, gathered_elements, gathered_elements_into, GatherSlot,
+    GsModule,
+};

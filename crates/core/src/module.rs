@@ -94,10 +94,28 @@ pub fn gathered_elements(
     col: ColumnId,
     shuffled: bool,
 ) -> Vec<usize> {
-    gather_slots(cfg, pattern, col, shuffled)
-        .iter()
-        .map(|s| s.element)
-        .collect()
+    let mut out = Vec::with_capacity(cfg.chips());
+    gathered_elements_into(cfg, pattern, col, shuffled, &mut out);
+    out
+}
+
+/// [`gathered_elements`] into a caller-provided buffer (cleared first):
+/// the allocation-free form the simulator's per-access line path uses.
+pub fn gathered_elements_into(
+    cfg: &GsDramConfig,
+    pattern: PatternId,
+    col: ColumnId,
+    shuffled: bool,
+    out: &mut Vec<usize>,
+) {
+    out.clear();
+    for i in 0..cfg.chips() as u8 {
+        let ctl = crate::ctl::ctl_for(cfg, crate::ChipId(i));
+        out.push(slot_for_chip(cfg, &ctl, pattern, col, shuffled).element);
+    }
+    // Same-pattern gathers partition the row into disjoint element sets,
+    // so ascending element order is exactly the assembly order.
+    out.sort_unstable();
 }
 
 /// The inverse of [`gathered_elements`]: the column ID whose

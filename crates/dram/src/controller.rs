@@ -158,6 +158,21 @@ impl ReportStats for ControllerStats {
 }
 
 impl ControllerStats {
+    /// Folds another controller's counters into this one — the one
+    /// aggregation point for multi-channel/multi-controller totals.
+    pub fn merge(&mut self, other: &Self) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.row_hits += other.row_hits;
+        self.row_closed += other.row_closed;
+        self.row_conflicts += other.row_conflicts;
+        self.activates += other.activates;
+        self.precharges += other.precharges;
+        self.refreshes += other.refreshes;
+        self.total_read_latency += other.total_read_latency;
+        self.bus_busy_cycles += other.bus_busy_cycles;
+    }
+
     /// Mean read latency in memory cycles.
     pub fn avg_read_latency(&self) -> f64 {
         if self.reads == 0 {
@@ -721,6 +736,54 @@ mod tests {
             refresh: false,
             ..ControllerConfig::default()
         }
+    }
+
+    #[test]
+    fn stats_merge_sums_every_counter() {
+        let mut a = ControllerStats {
+            reads: 1,
+            writes: 2,
+            row_hits: 3,
+            row_closed: 4,
+            row_conflicts: 5,
+            activates: 6,
+            precharges: 7,
+            refreshes: 8,
+            total_read_latency: 9,
+            bus_busy_cycles: 10,
+        };
+        let b = ControllerStats {
+            reads: 10,
+            writes: 20,
+            row_hits: 30,
+            row_closed: 40,
+            row_conflicts: 50,
+            activates: 60,
+            precharges: 70,
+            refreshes: 80,
+            total_read_latency: 90,
+            bus_busy_cycles: 100,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            ControllerStats {
+                reads: 11,
+                writes: 22,
+                row_hits: 33,
+                row_closed: 44,
+                row_conflicts: 55,
+                activates: 66,
+                precharges: 77,
+                refreshes: 88,
+                total_read_latency: 99,
+                bus_busy_cycles: 110,
+            }
+        );
+        // Merging the default is the identity.
+        let before = a;
+        a.merge(&ControllerStats::default());
+        assert_eq!(a, before);
     }
 
     #[test]

@@ -96,6 +96,17 @@ impl ReportStats for EnergyBreakdown {
 }
 
 impl EnergyBreakdown {
+    /// Folds another rank's energy into this one — the one aggregation
+    /// point for multi-channel/multi-rank totals.
+    pub fn merge(&mut self, other: &Self) {
+        self.activation_nj += other.activation_nj;
+        self.read_nj += other.read_nj;
+        self.write_nj += other.write_nj;
+        self.refresh_nj += other.refresh_nj;
+        self.background_nj += other.background_nj;
+        self.io_nj += other.io_nj;
+    }
+
     /// Total energy in nanojoules.
     pub fn total_nj(&self) -> f64 {
         self.activation_nj
@@ -291,6 +302,31 @@ mod tests {
         let mut short = meter();
         short.on_idle_gap(20);
         assert_eq!(short.powerdown_cycles(), 0);
+    }
+
+    #[test]
+    fn breakdown_merge_sums_every_component() {
+        let mut m = meter();
+        m.on_activate();
+        m.on_read(64);
+        let a = m.breakdown();
+        let mut n = meter();
+        n.on_write(64);
+        n.on_refresh();
+        n.on_elapsed(100, false);
+        let b = n.breakdown();
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.activation_nj, a.activation_nj + b.activation_nj);
+        assert_eq!(merged.read_nj, a.read_nj + b.read_nj);
+        assert_eq!(merged.write_nj, a.write_nj + b.write_nj);
+        assert_eq!(merged.refresh_nj, a.refresh_nj + b.refresh_nj);
+        assert_eq!(merged.background_nj, a.background_nj + b.background_nj);
+        assert_eq!(merged.io_nj, a.io_nj + b.io_nj);
+        // Merging the default is the identity.
+        let before = merged;
+        merged.merge(&EnergyBreakdown::default());
+        assert_eq!(merged, before);
     }
 
     #[test]

@@ -8,9 +8,18 @@
 //! * [`config`] — the Table 1 system parameters;
 //! * [`page`] — `pattmalloc` and per-page pattern metadata (§4.3);
 //! * [`ops`] — the program/op interface (§4.2);
-//! * [`machine`] — the machine: timing *and* functional simulation;
+//! * [`machine`] — the [`Machine`]: composition shell and public API;
+//! * [`exec`] — the core scheduler and run loop;
+//! * [`hier`] — L1s/L2/prefetchers and the demand access path;
+//! * [`coherence`] — the §4.1 pattern-overlap coherence engine + DBI;
+//! * [`bridge`] — memory controllers, the GS-DRAM module, delivery;
+//! * [`report`] — end-of-run statistics assembly ([`RunReport`]);
 //! * [`energy`] — the McPAT-substitute processor energy model;
 //! * [`trace`] — memory-trace capture and replay.
+//!
+//! The machine performs timing *and* functional simulation; see
+//! `docs/ARCHITECTURE.md` for how the components connect and how to
+//! observe a run through [`Machine::attach_observer`].
 //!
 //! ```
 //! use gsdram_system::config::SystemConfig;
@@ -34,11 +43,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod bridge;
+pub mod coherence;
 pub mod config;
 pub mod energy;
+pub mod exec;
+pub mod hier;
 pub mod machine;
 pub mod ops;
 pub mod page;
+pub mod report;
 pub mod trace;
 
 pub use config::SystemConfig;

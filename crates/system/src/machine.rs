@@ -10,259 +10,76 @@
 //! results can be verified bit-for-bit while latency, bandwidth and
 //! energy are measured.
 //!
-//! Coherence follows §4.1: every line is tagged with its pattern; each
-//! page allows only the default and one alternate pattern; dirty
-//! other-pattern overlapping lines are flushed before a fetch; a store
-//! invalidates the (at most `chips`) overlapping other-pattern lines.
+//! The machine itself is a thin composition shell over port-connected
+//! components (see `docs/ARCHITECTURE.md` for the picture):
+//!
+//! - [`crate::exec`] — the core scheduler ([`Machine::run`]'s loop);
+//! - [`crate::hier`] — L1s/L2/prefetchers and the demand access path;
+//! - [`crate::coherence`] — the §4.1 pattern-overlap rules + DBI;
+//! - [`crate::bridge`] — controllers, the GS-DRAM module, delivery;
+//! - [`crate::report`] — end-of-run statistics assembly.
+//!
+//! Cross-component traffic that must stay ordered (dirty evictions on
+//! their way to DRAM, the line moving between DRAM and the caches)
+//! flows through machine-owned scratch buffers, so the steady-state
+//! access path does not allocate. Every component announces its actions
+//! on the machine's [`EventHub`]; attach an observer with
+//! [`Machine::attach_observer`] to trace a run (an unobserved machine
+//! pays one branch per event site).
 
-use std::collections::HashMap;
+use gsdram_cache::cache::EvictedLine;
+use gsdram_core::port::{EventHub, EventSink};
+use gsdram_core::PatternId;
 
-use gsdram_cache::cache::{CacheStats, EvictedLine, LineKey, SetAssocCache};
-use gsdram_cache::dbi::DbiStats;
-use gsdram_cache::dbi::DirtyBlockIndex;
-use gsdram_cache::overlap::OverlapCalc;
-use gsdram_cache::prefetch::{PrefetchStats, StridePrefetcher};
-use gsdram_core::stats::{ReportStats, StatsNode};
-use gsdram_core::{ColumnId, Geometry, GsModule, PatternId, RowId};
-use gsdram_dram::controller::{
-    AccessKind, Completion, ControllerStats, MemController, MemRequest, ReqId,
-};
-use gsdram_dram::energy::EnergyBreakdown;
-use gsdram_dram::mapping::AddressMap;
-
-use crate::config::{GatherSupport, SystemConfig};
-use crate::energy::{CpuEnergyModel, EnergyReport};
-use crate::ops::{Op, Program};
+use crate::bridge::DramBridge;
+use crate::coherence::CoherenceEngine;
+use crate::config::SystemConfig;
+use crate::energy::CpuEnergyModel;
+use crate::exec::CoreSet;
+use crate::hier::CacheHier;
 use crate::page::PageTable;
 
-fn sum_stats(a: ControllerStats, b: ControllerStats) -> ControllerStats {
-    ControllerStats {
-        reads: a.reads + b.reads,
-        writes: a.writes + b.writes,
-        row_hits: a.row_hits + b.row_hits,
-        row_closed: a.row_closed + b.row_closed,
-        row_conflicts: a.row_conflicts + b.row_conflicts,
-        activates: a.activates + b.activates,
-        precharges: a.precharges + b.precharges,
-        refreshes: a.refreshes + b.refreshes,
-        total_read_latency: a.total_read_latency + b.total_read_latency,
-        bus_busy_cycles: a.bus_busy_cycles + b.bus_busy_cycles,
-    }
-}
-
-fn sum_energy(a: EnergyBreakdown, b: EnergyBreakdown) -> EnergyBreakdown {
-    EnergyBreakdown {
-        activation_nj: a.activation_nj + b.activation_nj,
-        read_nj: a.read_nj + b.read_nj,
-        write_nj: a.write_nj + b.write_nj,
-        refresh_nj: a.refresh_nj + b.refresh_nj,
-        background_nj: a.background_nj + b.background_nj,
-        io_nj: a.io_nj + b.io_nj,
-    }
-}
-
-/// When a [`Machine::run`] ends.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum StopWhen {
-    /// All programs have returned `None`.
-    AllDone,
-    /// The given core's program finished (other cores are cut off there —
-    /// the HTAP methodology of §5.1).
-    CoreDone(usize),
-}
-
-/// Everything measured during one [`Machine::run`].
-#[derive(Debug, Clone)]
-pub struct RunReport {
-    /// Wall-clock CPU cycles from run start to the stop condition.
-    pub cpu_cycles: u64,
-    /// Per-core finish (or cutoff) times in CPU cycles.
-    pub core_cycles: Vec<u64>,
-    /// Total operations executed (all cores).
-    pub ops: u64,
-    /// Memory operations executed (loads + stores).
-    pub mem_ops: u64,
-    /// Per-core L1 statistics.
-    pub l1: Vec<CacheStats>,
-    /// Shared L2 statistics.
-    pub l2: CacheStats,
-    /// Memory controller statistics.
-    pub dram: ControllerStats,
-    /// DRAM energy breakdown.
-    pub dram_energy: EnergyBreakdown,
-    /// CPU + DRAM energy totals.
-    pub energy: EnergyReport,
-    /// Per-core `Program::progress()` at stop.
-    pub progress: Vec<u64>,
-    /// Per-core `Program::result()` at stop.
-    pub results: Vec<u64>,
-    /// Per-core stride-prefetcher statistics.
-    pub prefetch: Vec<PrefetchStats>,
-    /// Dirty-Block-Index statistics (coherence fast-path counters).
-    pub dbi: DbiStats,
-}
-
-impl RunReport {
-    /// Execution time in seconds at the configured clock.
-    pub fn seconds(&self, cfg: &SystemConfig) -> f64 {
-        cfg.seconds(self.cpu_cycles)
-    }
-}
-
-impl ReportStats for RunReport {
-    /// The whole run as one stats tree:
-    ///
-    /// ```text
-    /// <name>: cpu_cycles, ops, mem_ops
-    ///   cores:   core0..coreN (cycles, progress, result)
-    ///   l1[i]:   cache counters per core
-    ///   l2:      cache counters
-    ///   dram:    controller counters
-    ///   dram_energy: energy breakdown (nJ)
-    ///   energy:  CPU + DRAM totals (mJ)
-    ///   prefetch[i]: per-core prefetcher counters
-    ///   dbi:     Dirty-Block-Index counters
-    /// ```
-    fn stats_node(&self, name: &str) -> StatsNode {
-        let mut cores = StatsNode::new("cores");
-        for (i, cycles) in self.core_cycles.iter().enumerate() {
-            cores = cores.child(
-                StatsNode::new(format!("core{i}"))
-                    .counter("cycles", *cycles)
-                    .counter("progress", self.progress.get(i).copied().unwrap_or(0))
-                    .counter("result", self.results.get(i).copied().unwrap_or(0)),
-            );
-        }
-        StatsNode::new(name)
-            .counter("cpu_cycles", self.cpu_cycles)
-            .counter("ops", self.ops)
-            .counter("mem_ops", self.mem_ops)
-            .child(cores)
-            .children_from(
-                self.l1
-                    .iter()
-                    .enumerate()
-                    .map(|(i, s)| s.stats_node(&format!("l1_{i}"))),
-            )
-            .child(self.l2.stats_node("l2"))
-            .child(self.dram.stats_node("dram"))
-            .child(self.dram_energy.stats_node("dram_energy"))
-            .child(self.energy.stats_node("energy"))
-            .children_from(
-                self.prefetch
-                    .iter()
-                    .enumerate()
-                    .map(|(i, s)| s.stats_node(&format!("prefetch_{i}"))),
-            )
-            .child(self.dbi.stats_node("dbi"))
-    }
-}
-
-#[derive(Debug, Clone)]
-struct CoreState {
-    time: u64,
-    waiting: bool,
-    done: bool,
-    ops: u64,
-    mem_ops: u64,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Waiter {
-    core: usize,
-    word: usize,
-    wide: bool,
-    store: Option<u64>,
-}
-
-#[derive(Debug, Clone)]
-struct Outstanding {
-    key: LineKey,
-    shuffled: bool,
-    demand: bool,
-    waiters: Vec<Waiter>,
-    /// Sub-requests still in flight (1 for GS-DRAM; the number of
-    /// covered lines for an Impulse gather).
-    remaining: usize,
-    /// Completion time of the latest finished sub-request (mem cycles).
-    done_at: u64,
-}
+pub use crate::exec::StopWhen;
+pub use crate::report::RunReport;
 
 /// The simulated system. See the [module docs](self) for the overview.
 #[derive(Debug)]
 pub struct Machine {
-    cfg: SystemConfig,
-    module: GsModule,
-    pages: PageTable,
-    overlap: OverlapCalc,
-    map: AddressMap,
-    controllers: Vec<MemController>,
-    l2: SetAssocCache,
-    l1: Vec<SetAssocCache>,
-    prefetchers: Vec<StridePrefetcher>,
-    cores: Vec<CoreState>,
-    outstanding: HashMap<ReqId, Outstanding>,
-    by_key: HashMap<LineKey, ReqId>,
-    /// Maps each DRAM sub-request to its logical fetch.
-    parent_of: HashMap<ReqId, ReqId>,
-    next_req: ReqId,
-    cpu_energy: CpuEnergyModel,
-    /// Dirty-Block Index (§4.1): per-(DRAM row, pattern) dirty bitmaps,
-    /// the fast path for the flush-before-fetch coherence check. Kept as
-    /// a conservative superset of the caches' dirty lines; bits clear
-    /// when data reaches the DRAM module.
-    dbi: DirtyBlockIndex,
+    pub(crate) cfg: SystemConfig,
+    pub(crate) pages: PageTable,
+    pub(crate) cores: CoreSet,
+    pub(crate) hier: CacheHier,
+    pub(crate) coherence: CoherenceEngine,
+    pub(crate) bridge: DramBridge,
+    pub(crate) cpu_energy: CpuEnergyModel,
+    pub(crate) events: EventHub,
+    /// Dirty lines evicted from the hierarchy, in eviction order,
+    /// awaiting their DRAM writeback (drained eagerly; non-empty only
+    /// within one access/delivery step).
+    pub(crate) wb: Vec<EvictedLine>,
+    /// Scratch for one line's words moving between DRAM and the caches.
+    pub(crate) line_buf: Vec<u64>,
 }
 
 impl Machine {
     /// Builds the machine described by `cfg`.
     pub fn new(cfg: SystemConfig) -> Self {
-        let rows = cfg.memory_bytes / cfg.row_bytes() as usize;
-        let geom = Geometry::ddr3_row(&cfg.gsdram, rows.max(1)).expect("valid geometry");
-        let module = GsModule::new(cfg.gsdram.clone(), geom);
         let pages = PageTable::new(cfg.memory_bytes as u64, cfg.row_bytes());
-        let overlap = OverlapCalc::new(cfg.gsdram.clone(), cfg.l2.line_bytes as u64, 128);
-        let map = AddressMap::with_ranks(
-            cfg.l2.line_bytes as u64,
-            128,
-            cfg.controller.banks as u64,
-            cfg.controller.ranks as u64,
-            gsdram_dram::mapping::Interleave::ColumnFirst,
-        );
-        let controllers = (0..cfg.channels.max(1))
-            .map(|_| MemController::new(cfg.controller.clone()))
-            .collect();
-        let l2 = SetAssocCache::new(cfg.l2);
-        let l1 = (0..cfg.cores).map(|_| SetAssocCache::new(cfg.l1)).collect();
-        let prefetchers = (0..cfg.cores)
-            .map(|_| StridePrefetcher::degree4())
-            .collect();
-        let cores = (0..cfg.cores)
-            .map(|_| CoreState {
-                time: 0,
-                waiting: false,
-                done: false,
-                ops: 0,
-                mem_ops: 0,
-            })
-            .collect();
+        let cores = CoreSet::new(cfg.cores);
+        let hier = CacheHier::new(&cfg);
+        let coherence = CoherenceEngine::new(&cfg);
+        let bridge = DramBridge::new(&cfg);
         Machine {
             cfg,
-            module,
             pages,
-            overlap,
-            map,
-            controllers,
-            l2,
-            l1,
-            prefetchers,
             cores,
-            outstanding: HashMap::new(),
-            by_key: HashMap::new(),
-            parent_of: HashMap::new(),
-            next_req: 0,
+            hier,
+            coherence,
+            bridge,
             cpu_energy: CpuEnergyModel::default(),
-            dbi: DirtyBlockIndex::table1(),
+            events: EventHub::new(),
+            wb: Vec::new(),
+            line_buf: Vec::new(),
         }
     }
 
@@ -287,1100 +104,63 @@ impl Machine {
         self.pages.malloc(bytes)
     }
 
-    /// The channel serving `addr` and the channel-local address
-    /// (row-granularity interleave: channel bits sit just above the
-    /// row-offset bits, so one DRAM row — and hence every gathered
-    /// line — stays on one channel).
-    fn channel_of(&self, addr: u64) -> (usize, u64) {
-        let channels = self.controllers.len() as u64;
-        let rb = self.overlap.row_bytes();
-        let row = addr / rb;
-        let channel = (row % channels) as usize;
-        let local = (row / channels) * rb + addr % rb;
-        (channel, local)
+    /// Attaches an observer that sees every [`SimEvent`] the components
+    /// emit, replacing (and returning) any previous one.
+    ///
+    /// [`SimEvent`]: gsdram_core::port::SimEvent
+    pub fn attach_observer(&mut self, sink: Box<dyn EventSink>) -> Option<Box<dyn EventSink>> {
+        self.events.attach(sink)
     }
 
-    fn row_col(&self, addr: u64) -> (RowId, ColumnId, usize) {
-        let rb = self.overlap.row_bytes();
-        let row = (addr / rb) as u32;
-        let off = addr % rb;
-        (
-            RowId(row),
-            ColumnId((off / 64) as u32),
-            ((off % 64) / 8) as usize,
-        )
+    /// Detaches and returns the current observer, if any.
+    pub fn detach_observer(&mut self) -> Option<Box<dyn EventSink>> {
+        self.events.detach()
     }
 
     /// Writes `value` at `addr` directly into the DRAM module (bypassing
     /// caches and timing) — initialisation convenience.
     pub fn poke(&mut self, addr: u64, value: u64) {
-        let shuffled = self.pages.info(addr).shuffle;
-        let (row, col, word) = self.row_col(addr);
-        let element = col.0 as usize * self.cfg.gsdram.chips() + word;
-        self.module
-            .write_element(row, element, shuffled, value)
-            .expect("poke within modelled memory");
+        self.bridge.poke(&self.pages, addr, value);
     }
 
     /// Reads the value at `addr` from the DRAM module, *ignoring* cached
     /// dirty data. Call [`Machine::drain_caches`] first for an up-to-date
     /// view.
     pub fn peek(&self, addr: u64) -> u64 {
-        let shuffled = self.pages.info(addr).shuffle;
-        let (row, col, word) = self.row_col(addr);
-        let element = col.0 as usize * self.cfg.gsdram.chips() + word;
-        self.module
-            .read_element(row, element, shuffled)
-            .expect("peek within modelled memory")
+        self.bridge.peek(&self.pages, addr)
     }
 
-    /// Functionally writes back every dirty line (all L1s, then L2) to
-    /// the DRAM module and leaves the caches clean, so
-    /// [`Machine::peek`] observes the programs' final state.
+    /// Functionally writes back every dirty line (L2 first, then the
+    /// L1s, so newer L1 data wins) to the DRAM module and leaves the
+    /// caches clean, so [`Machine::peek`] observes the programs' final
+    /// state.
     pub fn drain_caches(&mut self) {
-        // L2 dirty lines are always older than L1 dirty lines of the
-        // same key, so write L2 first and let L1 data win.
-        let mut dirty: Vec<(LineKey, Vec<u64>)> = Vec::new();
-        for key in self.l2.resident_keys() {
-            if self.l2.is_dirty(key) {
-                let ev = self.l2.invalidate(key).expect("resident");
-                dirty.push((ev.key, ev.data));
-            }
-        }
-        for l1 in &mut self.l1 {
-            for key in l1.resident_keys() {
-                if l1.is_dirty(key) {
-                    let ev = l1.invalidate(key).expect("resident");
-                    dirty.push((ev.key, ev.data));
-                }
-            }
-        }
-        for (key, data) in dirty {
-            self.write_line_to_module(key, &data);
+        for (key, data) in self.hier.drain_dirty() {
+            self.coherence.mark_clean(key);
+            self.bridge.write_line(&self.pages, key, &data);
         }
     }
 
-    /// Which word-address semantics a line uses: under GS-DRAM the
-    /// hardware shuffle/CTL path (page shuffle flag); under Impulse the
-    /// controller gathers the application-level stride regardless of
-    /// the (commodity, unshuffled) module layout.
-    fn addr_semantics(&self, key: LineKey) -> bool {
-        let shuffled = self.pages.info(key.addr).shuffle;
-        shuffled || (self.cfg.gather == GatherSupport::Impulse && !key.pattern.is_default())
-    }
-
-    fn write_line_to_module(&mut self, key: LineKey, data: &[u64]) {
-        // The line's data reaches DRAM here: its DBI dirty bit clears.
-        self.dbi.mark_clean(key);
-        let shuffled = self.pages.info(key.addr).shuffle;
-        let sem = self.addr_semantics(key);
-        let addrs = self.overlap.word_addresses(key, sem);
-        for (a, v) in addrs.iter().zip(data) {
-            let (row, col, word) = self.row_col(*a);
-            let element = col.0 as usize * self.cfg.gsdram.chips() + word;
-            self.module
-                .write_element(row, element, shuffled, *v)
-                .expect("writeback within modelled memory");
-        }
-    }
-
-    fn read_line_from_module(&self, key: LineKey) -> Vec<u64> {
-        let shuffled = self.pages.info(key.addr).shuffle;
-        let sem = self.addr_semantics(key);
-        self.overlap
-            .word_addresses(key, sem)
-            .iter()
-            .map(|a| {
-                let (row, col, word) = self.row_col(*a);
-                let element = col.0 as usize * self.cfg.gsdram.chips() + word;
-                self.module
-                    .read_element(row, element, shuffled)
-                    .expect("fetch within modelled memory")
-            })
-            .collect()
-    }
-
-    fn alloc_req_id(&mut self) -> ReqId {
-        self.next_req += 1;
-        self.next_req
-    }
-
-    /// Enqueues a DRAM write for timing and performs the functional
-    /// writeback. A GS-DRAM scatter is one column command; the Impulse
-    /// baseline writes every covered line individually.
+    /// Writes an evicted dirty line back to DRAM: clears its DBI bit,
+    /// performs the functional write, and enqueues the timing write(s).
     fn dram_write(&mut self, ev: EvictedLine, at_cpu: u64) {
-        self.write_line_to_module(ev.key, &ev.data);
-        let addrs = self.fetch_sub_addrs(ev.key);
-        for (a, pattern) in addrs {
-            let (ch, local) = self.channel_of(a);
-            let at = self
-                .cfg
-                .to_mem_cycles(at_cpu)
-                .max(self.controllers[ch].now());
-            let id = self.alloc_req_id();
-            let req = MemRequest {
-                id,
-                loc: self.map.decompose(local),
-                pattern,
-                kind: AccessKind::Write,
-            };
-            self.controllers[ch].enqueue(req, at);
-        }
+        // The line's data reaches DRAM here: its DBI dirty bit clears.
+        self.coherence.mark_clean(ev.key);
+        self.bridge.write_line(&self.pages, ev.key, &ev.data);
+        self.bridge.enqueue_write(ev.key, at_cpu, &mut self.events);
     }
 
-    /// The DRAM requests backing one logical line fetch/writeback:
-    /// one pattern command under GS-DRAM; one default-pattern command
-    /// per covered line under Impulse.
-    fn fetch_sub_addrs(&self, key: LineKey) -> Vec<(u64, PatternId)> {
-        if self.cfg.gather == GatherSupport::Impulse && !key.pattern.is_default() {
-            self.overlap
-                .overlapping_lines(key, PatternId::DEFAULT, true)
-                .into_iter()
-                .map(|k| (k.addr, PatternId::DEFAULT))
-                .collect()
-        } else {
-            vec![(key.addr, key.pattern)]
-        }
-    }
-
-    /// Enqueues the DRAM fetch(es) backing a line fetch and registers
-    /// the logical outstanding entry.
-    fn enqueue_fetch(
-        &mut self,
-        key: LineKey,
-        shuffled: bool,
-        demand: bool,
-        waiters: Vec<Waiter>,
-        at_cpu: u64,
-    ) {
-        let subs = self.fetch_sub_addrs(key);
-        let parent = self.alloc_req_id();
-        self.outstanding.insert(
-            parent,
-            Outstanding {
-                key,
-                shuffled,
-                demand,
-                waiters,
-                remaining: subs.len(),
-                done_at: 0,
-            },
-        );
-        self.by_key.insert(key, parent);
-        for (a, pattern) in subs {
-            let (ch, local) = self.channel_of(a);
-            let at = self
-                .cfg
-                .to_mem_cycles(at_cpu)
-                .max(self.controllers[ch].now());
-            let id = self.alloc_req_id();
-            self.parent_of.insert(id, parent);
-            let req = MemRequest {
-                id,
-                loc: self.map.decompose(local),
-                pattern,
-                kind: AccessKind::Read,
-            };
-            self.controllers[ch].enqueue(req, at);
-        }
-    }
-
-    /// Handles an eviction out of L2 (dirty → DRAM write).
-    fn handle_l2_eviction(&mut self, ev: Option<EvictedLine>, at_cpu: u64) {
-        if let Some(ev) = ev {
-            if ev.dirty {
-                self.dram_write(ev, at_cpu);
-            }
-        }
-    }
-
-    /// Handles an eviction out of an L1: dirty lines merge into L2 (or
-    /// go straight to DRAM if L2 no longer holds the line).
-    fn handle_l1_eviction(&mut self, ev: Option<EvictedLine>, at_cpu: u64) {
-        let Some(ev) = ev else { return };
-        if !ev.dirty {
+    /// Flushes every pending writeback collected by the hierarchy or
+    /// coherence engine to DRAM, in eviction order, at `at_cpu`.
+    pub(crate) fn drain_writebacks(&mut self, at_cpu: u64) {
+        if self.wb.is_empty() {
             return;
         }
-        if let Some(slot) = self.l2.data_mut(ev.key) {
-            slot.copy_from_slice(&ev.data);
-        } else {
-            let l2_ev = self.l2.fill(ev.key, ev.data.clone());
-            self.l2
-                .data_mut(ev.key)
-                .expect("just filled")
-                .copy_from_slice(&ev.data);
-            self.handle_l2_eviction(l2_ev, at_cpu);
+        let mut wb = std::mem::take(&mut self.wb);
+        for ev in wb.drain(..) {
+            self.dram_write(ev, at_cpu);
         }
-    }
-
-    /// §4.1 rule 1: before fetching `key` from DRAM, flush dirty
-    /// overlapping lines of the page's other pattern from all caches.
-    fn flush_overlaps_before_fetch(&mut self, key: LineKey, at_cpu: u64) {
-        let info = self.pages.info(key.addr);
-        // Coherence engages whenever the page supports an alternate
-        // pattern — whether gathers come from the shuffle/CTL datapath
-        // (GS-DRAM) or from controller-side assembly (Impulse).
-        let sem = self.addr_semantics(LineKey {
-            pattern: info.alt_pattern,
-            ..key
-        });
-        if !sem || info.alt_pattern.is_default() {
-            return;
-        }
-        let other = if key.pattern.is_default() {
-            info.alt_pattern
-        } else {
-            PatternId::DEFAULT
-        };
-        // §4.1 fast path: one Dirty-Block-Index row lookup rules out the
-        // common no-dirty-overlap case without touching the caches.
-        if !self.dbi.row_has_dirty(key.addr, other) {
-            return;
-        }
-        for okey in self.overlap.overlapping_lines(key, other, sem) {
-            if !self.dbi.may_be_dirty(okey) {
-                continue;
-            }
-            // Only *dirty* overlapping lines must reach DRAM before the
-            // fetch; clean copies are consistent and may stay cached
-            // (§4.1: "check if there are any dirty cache lines ... which
-            // have a partial overlap with the cache line being fetched").
-            // Flush order matters: an L2 dirty copy is always older than
-            // an L1 dirty copy of the same line, so L2 goes first and a
-            // flushed L1 line additionally drops any stale L2 copy.
-            if self.l2.is_dirty(okey) {
-                let ev = self.l2.invalidate(okey).expect("resident");
-                self.dram_write(ev, at_cpu);
-            }
-            let mut l1_was_dirty = false;
-            for c in 0..self.l1.len() {
-                if self.l1[c].is_dirty(okey) {
-                    let ev = self.l1[c].invalidate(okey).expect("resident");
-                    self.dram_write(ev, at_cpu);
-                    l1_was_dirty = true;
-                }
-            }
-            if l1_was_dirty {
-                self.l2.invalidate(okey);
-            }
-        }
-    }
-
-    /// §4.1 rule 2: a store to `key` invalidates overlapping lines of
-    /// the other pattern everywhere (at most `chips` lines — §4.4), plus
-    /// same-key copies in other cores' L1s.
-    fn invalidate_overlaps_on_store(&mut self, core: usize, key: LineKey, at_cpu: u64) {
-        // Every store routes through here: record the dirtied line.
-        self.dbi.mark_dirty(key);
-        // Same-key copies in other L1s (read-exclusive upgrade).
-        for c in 0..self.l1.len() {
-            if c != core {
-                if let Some(ev) = self.l1[c].invalidate(key) {
-                    if ev.dirty {
-                        // Should not happen (two dirty copies), but stay safe.
-                        self.dram_write(ev, at_cpu);
-                    }
-                }
-            }
-        }
-        let info = self.pages.info(key.addr);
-        let sem = self.addr_semantics(LineKey {
-            pattern: info.alt_pattern,
-            ..key
-        });
-        if !sem || info.alt_pattern.is_default() {
-            return;
-        }
-        let other = if key.pattern.is_default() {
-            info.alt_pattern
-        } else {
-            PatternId::DEFAULT
-        };
-        for okey in self.overlap.overlapping_lines(key, other, sem) {
-            // L2 before L1: an L2 dirty copy is older than an L1 dirty
-            // copy of the same line, so the L1 data must reach DRAM last.
-            if let Some(ev) = self.l2.invalidate(okey) {
-                if ev.dirty {
-                    self.dram_write(ev, at_cpu);
-                }
-            }
-            for c in 0..self.l1.len() {
-                if let Some(ev) = self.l1[c].invalidate(okey) {
-                    if ev.dirty {
-                        self.dram_write(ev, at_cpu);
-                    }
-                }
-            }
-        }
-    }
-
-    /// Snoop: if another L1 holds `key` dirty, write it back into L2 so
-    /// the requester sees fresh data.
-    fn snoop_remote_dirty(&mut self, core: usize, key: LineKey, at_cpu: u64) {
-        for c in 0..self.l1.len() {
-            if c == core || !self.l1[c].is_dirty(key) {
-                continue;
-            }
-            let ev = self.l1[c].invalidate(key).expect("resident");
-            if let Some(slot) = self.l2.data_mut(key) {
-                slot.copy_from_slice(&ev.data);
-            } else {
-                let data = ev.data.clone();
-                let l2_ev = self.l2.fill(key, data);
-                self.l2
-                    .data_mut(key)
-                    .expect("just filled")
-                    .copy_from_slice(&ev.data);
-                self.handle_l2_eviction(l2_ev, at_cpu);
-            }
-        }
-    }
-
-    /// Issues the stride prefetcher's predictions as L2 prefetch reads.
-    fn issue_prefetches(
-        &mut self,
-        core: usize,
-        pc: u64,
-        addr: u64,
-        pattern: PatternId,
-        at_cpu: u64,
-    ) {
-        if !self.cfg.prefetch {
-            return;
-        }
-        let targets = self.prefetchers[core].observe(pc, addr);
-        for t in targets {
-            if t >= self.pages.allocated() {
-                continue;
-            }
-            if self.pages.check(t, pattern).is_err() {
-                continue;
-            }
-            let key = LineKey::new(t, 64, pattern);
-            if self.l2.contains(key) || self.by_key.contains_key(&key) {
-                continue;
-            }
-            self.flush_overlaps_before_fetch(key, at_cpu);
-            let shuffled = self.pages.info(key.addr).shuffle;
-            self.enqueue_fetch(key, shuffled, false, Vec::new(), at_cpu);
-        }
-    }
-
-    /// Executes one memory op for `core` at its current time. Returns
-    /// `Some(value)` when the access completed synchronously (cache hit),
-    /// `None` when the core is now waiting on DRAM.
-    fn access(
-        &mut self,
-        core: usize,
-        pc: u64,
-        addr: u64,
-        pattern: PatternId,
-        wide: bool,
-        store: Option<u64>,
-    ) -> Option<u64> {
-        let info = self
-            .pages
-            .check(addr, pattern)
-            .unwrap_or_else(|e| panic!("{e}"));
-        let key = LineKey::new(addr, 64, pattern);
-        let word = ((addr % 64) / 8) as usize;
-        let t0 = self.cores[core].time;
-        self.cores[core].mem_ops += 1;
-
-        // L1 lookup.
-        if self.l1[core].probe(key, store.is_some()) {
-            self.cores[core].time = t0 + self.cfg.l1.latency;
-            let value = if let Some(v) = store {
-                self.invalidate_overlaps_on_store(core, key, t0);
-                let data = self.l1[core].data_mut(key).expect("hit");
-                data[word] = v;
-                v
-            } else {
-                self.l1[core].data(key).expect("hit")[word]
-            };
-            return Some(value);
-        }
-
-        // L1 miss: train the prefetcher, snoop remote dirty copies.
-        self.issue_prefetches(core, pc, addr, pattern, t0);
-        self.snoop_remote_dirty(core, key, t0);
-
-        // L2 lookup.
-        if self.l2.probe(key, false) {
-            let latency = self.cfg.l1.latency + self.cfg.l2.latency;
-            self.cores[core].time = t0 + latency;
-            let data = self.l2.data(key).expect("hit").to_vec();
-            let ev = self.l1[core].fill(key, data);
-            self.handle_l1_eviction(ev, t0);
-            let value = if let Some(v) = store {
-                self.invalidate_overlaps_on_store(core, key, t0);
-                self.l1[core].probe(key, true);
-                let d = self.l1[core].data_mut(key).expect("filled");
-                d[word] = v;
-                v
-            } else {
-                self.l1[core].data(key).expect("filled")[word]
-            };
-            return Some(value);
-        }
-
-        // Remote clean copy? Cache-to-cache transfer through L2 pricing.
-        for c in 0..self.l1.len() {
-            if c != core && self.l1[c].contains(key) {
-                let data = self.l1[c].data(key).expect("resident").to_vec();
-                let latency = self.cfg.l1.latency + self.cfg.l2.latency;
-                self.cores[core].time = t0 + latency;
-                let ev = self.l1[core].fill(key, data);
-                self.handle_l1_eviction(ev, t0);
-                let value = if let Some(v) = store {
-                    self.invalidate_overlaps_on_store(core, key, t0);
-                    self.l1[core].probe(key, true);
-                    let d = self.l1[core].data_mut(key).expect("filled");
-                    d[word] = v;
-                    v
-                } else {
-                    self.l1[core].data(key).expect("filled")[word]
-                };
-                return Some(value);
-            }
-        }
-
-        // DRAM. Attach to an existing outstanding request if any.
-        let miss_time = t0 + self.cfg.l1.latency + self.cfg.l2.latency;
-        let waiter = Waiter {
-            core,
-            word,
-            wide,
-            store,
-        };
-        self.cores[core].waiting = true;
-        if let Some(&id) = self.by_key.get(&key) {
-            let out = self.outstanding.get_mut(&id).expect("tracked");
-            out.demand = true;
-            out.waiters.push(waiter);
-            return None;
-        }
-        self.flush_overlaps_before_fetch(key, miss_time);
-        self.enqueue_fetch(key, info.shuffle, true, vec![waiter], miss_time);
-        None
-    }
-
-    /// Applies a completed DRAM read: fills caches, applies pending
-    /// stores, wakes waiting cores, feeds loaded values to programs.
-    fn deliver(&mut self, c: Completion, programs: &mut [&mut dyn Program]) {
-        let Some(parent) = self.parent_of.remove(&c.id) else {
-            return; // a writeback completion — nothing to do
-        };
-        {
-            let out = self.outstanding.get_mut(&parent).expect("parent tracked");
-            out.done_at = out.done_at.max(c.at);
-            out.remaining -= 1;
-            if out.remaining > 0 {
-                return; // an Impulse gather is still collecting lines
-            }
-        }
-        let out = self.outstanding.remove(&parent).expect("parent tracked");
-        self.by_key.remove(&out.key);
-        let done_cpu = self.cfg.to_cpu_cycles(out.done_at);
-        let shuffle_penalty = if out.shuffled {
-            self.cfg.shuffle_latency
-        } else {
-            0
-        };
-
-        // Fill L2 (unless a writeback landed the line there meanwhile).
-        let data = if self.l2.contains(out.key) {
-            self.l2.probe(out.key, false);
-            self.l2.data(out.key).expect("resident").to_vec()
-        } else {
-            let data = self.read_line_from_module(out.key);
-            let ev = self.l2.fill(out.key, data.clone());
-            self.handle_l2_eviction(ev, done_cpu);
-            data
-        };
-
-        for w in out.waiters {
-            let wake = done_cpu + self.cfg.l1.latency + shuffle_penalty;
-            if !self.l1[w.core].contains(out.key) {
-                let ev = self.l1[w.core].fill(out.key, data.clone());
-                self.handle_l1_eviction(ev, done_cpu);
-            }
-            let value = if let Some(v) = w.store {
-                self.invalidate_overlaps_on_store(w.core, out.key, done_cpu);
-                self.l1[w.core].probe(out.key, true);
-                let d = self.l1[w.core].data_mut(out.key).expect("filled");
-                d[w.word] = v;
-                v
-            } else {
-                self.l1[w.core].data(out.key).expect("filled")[w.word]
-            };
-            if w.store.is_none() {
-                programs[w.core].on_load_value(value);
-                let _ = w.wide;
-            }
-            let core = &mut self.cores[w.core];
-            core.waiting = false;
-            core.time = core.time.max(wake);
-        }
-    }
-
-    /// Advances the memory system to CPU time `t`, delivering any
-    /// completions.
-    fn sync_memory(&mut self, t_cpu: u64, programs: &mut [&mut dyn Program]) {
-        let t_mem = self.cfg.to_mem_cycles(t_cpu);
-        for ch in 0..self.controllers.len() {
-            self.controllers[ch].advance(t_mem);
-            for c in self.controllers[ch].take_completions(t_mem) {
-                self.deliver(c, programs);
-            }
-        }
-    }
-
-    /// All active cores are blocked: advance DRAM until at least one
-    /// demand completion is delivered.
-    fn advance_until_completion(&mut self, programs: &mut [&mut dyn Program]) {
-        loop {
-            let mut progressed = false;
-            for ch in 0..self.controllers.len() {
-                let Some(t) = self.controllers[ch].advance_until_completion() else {
-                    continue;
-                };
-                for c in self.controllers[ch].take_completions(t) {
-                    self.deliver(c, programs);
-                }
-                progressed = true;
-            }
-            assert!(
-                progressed,
-                "deadlock: cores waiting but no memory traffic outstanding"
-            );
-            if self.cores.iter().any(|c| !c.done && !c.waiting) {
-                return;
-            }
-        }
-    }
-
-    /// Runs `programs` (one per core) until `stop`, returning the
-    /// measurements. Statistics are cumulative per machine; use a fresh
-    /// machine per measured configuration.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `programs.len()` differs from the configured core
-    /// count, or a program accesses a page with a disallowed pattern.
-    pub fn run(&mut self, programs: &mut [&mut dyn Program], stop: StopWhen) -> RunReport {
-        assert_eq!(programs.len(), self.cores.len(), "one program per core");
-        let start = self.cores.iter().map(|c| c.time).max().unwrap_or(0);
-        for c in &mut self.cores {
-            c.time = start;
-            c.waiting = false;
-            c.done = false;
-        }
-
-        loop {
-            // Stop condition.
-            let stop_hit = match stop {
-                StopWhen::AllDone => self.cores.iter().all(|c| c.done),
-                StopWhen::CoreDone(i) => self.cores[i].done,
-            };
-            if stop_hit {
-                break;
-            }
-
-            // Pick the earliest runnable core.
-            let runnable = self
-                .cores
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| !c.done && !c.waiting)
-                .min_by_key(|(_, c)| c.time)
-                .map(|(i, c)| (i, c.time));
-
-            let Some((i, t)) = runnable else {
-                if self.cores.iter().all(|c| c.done) {
-                    break;
-                }
-                self.advance_until_completion(programs);
-                continue;
-            };
-
-            // Bring memory up to date; a delivered completion may wake an
-            // earlier core, so re-pick.
-            self.sync_memory(t, programs);
-            let repick = self
-                .cores
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| !c.done && !c.waiting)
-                .min_by_key(|(_, c)| c.time)
-                .map(|(i, _)| i)
-                .unwrap_or(i);
-            let i = repick;
-
-            match programs[i].next_op() {
-                None => {
-                    self.cores[i].done = true;
-                }
-                Some(op) => {
-                    self.cores[i].ops += 1;
-                    self.cores[i].time += 1; // issue slot
-                    match op {
-                        Op::Compute(c) => {
-                            self.cores[i].time += c as u64;
-                        }
-                        Op::Load { pc, addr, pattern } => {
-                            if let Some(v) = self.access(i, pc, addr, pattern, false, None) {
-                                programs[i].on_load_value(v);
-                            }
-                        }
-                        Op::Load16 { pc, addr, pattern } => {
-                            if let Some(v) = self.access(i, pc, addr, pattern, true, None) {
-                                programs[i].on_load_value(v);
-                            }
-                        }
-                        Op::Store {
-                            pc,
-                            addr,
-                            pattern,
-                            value,
-                        } => {
-                            self.access(i, pc, addr, pattern, false, Some(value));
-                        }
-                    }
-                }
-            }
-        }
-
-        let core_cycles: Vec<u64> = self.cores.iter().map(|c| c.time - start).collect();
-        let cpu_cycles = match stop {
-            StopWhen::AllDone => core_cycles.iter().copied().max().unwrap_or(0),
-            StopWhen::CoreDone(i) => core_cycles[i],
-        };
-        let ops: u64 = self.cores.iter().map(|c| c.ops).sum();
-        let mem_ops: u64 = self.cores.iter().map(|c| c.mem_ops).sum();
-        let l1: Vec<CacheStats> = self.l1.iter().map(|c| c.stats()).collect();
-        let l2 = self.l2.stats();
-        let dram = self
-            .controllers
-            .iter()
-            .map(|c| c.stats())
-            .fold(ControllerStats::default(), sum_stats);
-        let dram_energy = self
-            .controllers
-            .iter()
-            .map(|c| c.energy())
-            .fold(EnergyBreakdown::default(), sum_energy);
-        let energy = self.cpu_energy.report(
-            &self.cfg,
-            cpu_cycles,
-            ops,
-            l1.iter().map(|s| s.hits + s.misses).sum(),
-            l2.hits + l2.misses,
-            dram_energy,
-        );
-        RunReport {
-            cpu_cycles,
-            core_cycles,
-            ops,
-            mem_ops,
-            l1,
-            l2,
-            dram,
-            dram_energy,
-            energy,
-            progress: programs.iter().map(|p| p.progress()).collect(),
-            results: programs.iter().map(|p| p.result()).collect(),
-            prefetch: self.prefetchers.iter().map(|p| p.stats()).collect(),
-            dbi: self.dbi.stats(),
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::ops::ScriptedProgram;
-
-    fn small_machine(cores: usize) -> Machine {
-        Machine::new(SystemConfig::table1(cores, 4 << 20))
-    }
-
-    fn run_one(m: &mut Machine, p: &mut ScriptedProgram) -> RunReport {
-        let mut programs: Vec<&mut dyn Program> = vec![p];
-        m.run(&mut programs, StopWhen::AllDone)
-    }
-
-    #[test]
-    fn load_returns_poked_value() {
-        let mut m = small_machine(1);
-        let base = m.malloc(4096);
-        m.poke(base + 24, 777);
-        let mut p = ScriptedProgram::new(vec![Op::Load {
-            pc: 1,
-            addr: base + 24,
-            pattern: PatternId(0),
-        }]);
-        let r = run_one(&mut m, &mut p);
-        assert_eq!(p.loaded_values(), &[777]);
-        assert!(r.cpu_cycles > 0);
-        assert_eq!(r.mem_ops, 1);
-    }
-
-    #[test]
-    fn store_then_load_round_trips() {
-        let mut m = small_machine(1);
-        let base = m.malloc(4096);
-        let mut p = ScriptedProgram::new(vec![
-            Op::Store {
-                pc: 1,
-                addr: base + 8,
-                pattern: PatternId(0),
-                value: 31415,
-            },
-            Op::Load {
-                pc: 2,
-                addr: base + 8,
-                pattern: PatternId(0),
-            },
-        ]);
-        run_one(&mut m, &mut p);
-        assert_eq!(p.loaded_values(), &[31415]);
-        // After draining, DRAM holds the stored value too.
-        m.drain_caches();
-        assert_eq!(m.peek(base + 8), 31415);
-    }
-
-    #[test]
-    fn pattern_load_gathers_strided_fields() {
-        let mut m = small_machine(1);
-        // Eight 8-field tuples; gather field 0 of all of them (pattern 7).
-        let base = m.pattmalloc(8 * 64, true, PatternId(7));
-        for t in 0..8u64 {
-            for f in 0..8u64 {
-                m.poke(base + t * 64 + f * 8, t * 100 + f);
-            }
-        }
-        let ops: Vec<Op> = (0..8u64)
-            .map(|k| Op::Load {
-                pc: 1,
-                addr: base + 8 * k,
-                pattern: PatternId(7),
-            })
-            .collect();
-        let mut p = ScriptedProgram::new(ops);
-        let r = run_one(&mut m, &mut p);
-        let want: Vec<u64> = (0..8).map(|t| t * 100).collect();
-        assert_eq!(p.loaded_values(), &want[..]);
-        // All eight values came from ONE DRAM read (7 L1 hits).
-        assert_eq!(r.dram.reads, 1);
-        assert_eq!(r.l1[0].hits, 7);
-    }
-
-    #[test]
-    fn second_access_hits_cache() {
-        let mut m = small_machine(1);
-        let base = m.malloc(4096);
-        let mut p = ScriptedProgram::new(vec![
-            Op::Load {
-                pc: 1,
-                addr: base,
-                pattern: PatternId(0),
-            },
-            Op::Load {
-                pc: 2,
-                addr: base + 32,
-                pattern: PatternId(0),
-            },
-        ]);
-        let r = run_one(&mut m, &mut p);
-        assert_eq!(r.dram.reads, 1);
-        assert_eq!(r.l1[0].hits, 1);
-        assert_eq!(r.l1[0].misses, 1);
-    }
-
-    #[test]
-    fn store_invalidates_overlapping_gathered_line() {
-        let mut m = small_machine(1);
-        let base = m.pattmalloc(8 * 64, true, PatternId(7));
-        for t in 0..8u64 {
-            m.poke(base + t * 64, 1000 + t);
-        }
-        let mut p = ScriptedProgram::new(vec![
-            // Fetch the gathered field-0 line.
-            Op::Load {
-                pc: 1,
-                addr: base,
-                pattern: PatternId(7),
-            },
-            // Modify field 0 of tuple 3 through the default pattern.
-            Op::Store {
-                pc: 2,
-                addr: base + 3 * 64,
-                pattern: PatternId(0),
-                value: 55,
-            },
-            // Re-read the gathered line: must see the new value.
-            Op::Load {
-                pc: 3,
-                addr: base + 3 * 8,
-                pattern: PatternId(7),
-            },
-        ]);
-        run_one(&mut m, &mut p);
-        assert_eq!(p.loaded_values(), &[1000, 55]);
-    }
-
-    #[test]
-    fn gathered_store_scatters_to_memory() {
-        let mut m = small_machine(1);
-        let base = m.pattmalloc(8 * 64, true, PatternId(7));
-        // pattstore field 0 of tuple k via the gathered line.
-        let ops: Vec<Op> = (0..8u64)
-            .map(|k| Op::Store {
-                pc: 1,
-                addr: base + 8 * k,
-                pattern: PatternId(7),
-                value: 90 + k,
-            })
-            .collect();
-        let mut p = ScriptedProgram::new(ops);
-        run_one(&mut m, &mut p);
-        m.drain_caches();
-        for t in 0..8u64 {
-            assert_eq!(m.peek(base + t * 64), 90 + t, "tuple {t} field 0");
-        }
-    }
-
-    #[test]
-    fn compute_ops_advance_time_without_memory() {
-        let mut m = small_machine(1);
-        let mut p = ScriptedProgram::new(vec![Op::Compute(100), Op::Compute(100)]);
-        let r = run_one(&mut m, &mut p);
-        assert_eq!(r.cpu_cycles, 202); // 2 issue slots + 200 compute
-        assert_eq!(r.mem_ops, 0);
-        assert_eq!(r.dram.reads, 0);
-    }
-
-    #[test]
-    #[should_panic(expected = "not allowed")]
-    fn disallowed_pattern_faults() {
-        let mut m = small_machine(1);
-        let base = m.malloc(4096);
-        let mut p = ScriptedProgram::new(vec![Op::Load {
-            pc: 1,
-            addr: base,
-            pattern: PatternId(7),
-        }]);
-        run_one(&mut m, &mut p);
-    }
-
-    #[test]
-    fn two_cores_share_data_coherently() {
-        let mut m = small_machine(2);
-        let base = m.malloc(4096);
-        m.poke(base, 1);
-        // Core 0 stores 42; core 1 spins on compute then loads.
-        let mut p0 = ScriptedProgram::new(vec![Op::Store {
-            pc: 1,
-            addr: base,
-            pattern: PatternId(0),
-            value: 42,
-        }]);
-        let mut p1 = ScriptedProgram::new(vec![
-            Op::Compute(5000),
-            Op::Load {
-                pc: 2,
-                addr: base,
-                pattern: PatternId(0),
-            },
-        ]);
-        {
-            let mut programs: Vec<&mut dyn Program> = vec![&mut p0, &mut p1];
-            m.run(&mut programs, StopWhen::AllDone);
-        }
-        assert_eq!(p1.loaded_values(), &[42]);
-    }
-
-    #[test]
-    fn prefetcher_reduces_miss_latency_for_streams() {
-        let stream: Vec<Op> = (0..512u64)
-            .map(|i| Op::Load {
-                pc: 7,
-                addr: i * 64,
-                pattern: PatternId(0),
-            })
-            .collect();
-
-        let mut plain = Machine::new(SystemConfig::table1(1, 4 << 20));
-        plain.malloc(512 * 64);
-        let mut p = ScriptedProgram::new(stream.clone());
-        let r_plain = run_one(&mut plain, &mut p);
-
-        let mut pf = Machine::new(SystemConfig::table1(1, 4 << 20).with_prefetch());
-        pf.malloc(512 * 64);
-        let mut p = ScriptedProgram::new(stream);
-        let r_pf = run_one(&mut pf, &mut p);
-
-        assert!(
-            r_pf.cpu_cycles < r_plain.cpu_cycles,
-            "prefetch {} !< plain {}",
-            r_pf.cpu_cycles,
-            r_plain.cpu_cycles
-        );
-    }
-
-    #[test]
-    fn impulse_gather_is_correct_but_costs_one_read_per_line() {
-        // §7: the Impulse baseline returns the same gathered data, but
-        // the controller→DRAM traffic is one read per covered line.
-        let mut m = Machine::new(SystemConfig::table1(1, 4 << 20).with_impulse());
-        // Commodity module: no shuffling; the controller gathers.
-        let base = m.pattmalloc(8 * 64, false, PatternId(7));
-        for t in 0..8u64 {
-            m.poke(base + t * 64, 300 + t); // field 0 of tuple t
-        }
-        let ops: Vec<Op> = (0..8u64)
-            .map(|k| Op::Load {
-                pc: 1,
-                addr: base + 8 * k,
-                pattern: PatternId(7),
-            })
-            .collect();
-        let mut p = ScriptedProgram::new(ops);
-        let r = run_one(&mut m, &mut p);
-        let want: Vec<u64> = (0..8).map(|t| 300 + t).collect();
-        assert_eq!(p.loaded_values(), &want[..]);
-        // Eight DRAM reads for the single gathered line (vs 1 for GS).
-        assert_eq!(r.dram.reads, 8);
-        assert_eq!(r.l1[0].hits, 7, "cache still sees one gathered line");
-    }
-
-    #[test]
-    fn impulse_scatter_writes_back_every_covered_line() {
-        let mut m = Machine::new(SystemConfig::table1(1, 4 << 20).with_impulse());
-        let base = m.pattmalloc(8 * 64, false, PatternId(7));
-        let ops: Vec<Op> = (0..8u64)
-            .map(|k| Op::Store {
-                pc: 1,
-                addr: base + 8 * k,
-                pattern: PatternId(7),
-                value: 60 + k,
-            })
-            .collect();
-        let mut p = ScriptedProgram::new(ops);
-        run_one(&mut m, &mut p);
-        m.drain_caches();
-        for t in 0..8u64 {
-            assert_eq!(m.peek(base + t * 64), 60 + t, "tuple {t} field 0");
-        }
-    }
-
-    #[test]
-    fn gsdram_gather_beats_impulse_on_dram_traffic() {
-        let run = |impulse: bool| {
-            let cfg = SystemConfig::table1(1, 4 << 20);
-            let cfg = if impulse { cfg.with_impulse() } else { cfg };
-            let mut m = Machine::new(cfg);
-            let base = m.pattmalloc(64 * 64, !impulse, PatternId(7));
-            let ops: Vec<Op> = (0..8u64)
-                .flat_map(|g| {
-                    (0..8u64).map(move |k| Op::Load {
-                        pc: 1,
-                        addr: base + g * 8 * 64 + 8 * k,
-                        pattern: PatternId(7),
-                    })
-                })
-                .collect();
-            let mut p = ScriptedProgram::new(ops);
-            run_one(&mut m, &mut p)
-        };
-        let gs = run(false);
-        let imp = run(true);
-        assert!(
-            imp.dram.reads >= 6 * gs.dram.reads,
-            "imp {} gs {}",
-            imp.dram.reads,
-            gs.dram.reads
-        );
-        assert!(imp.cpu_cycles > gs.cpu_cycles);
-    }
-
-    #[test]
-    fn two_channels_speed_up_bank_parallel_streams() {
-        // Two interleaved row-streaming scans: with two channels the
-        // streams proceed in parallel.
-        let stream: Vec<Op> = (0..512u64)
-            .map(|i| Op::Load {
-                pc: 7,
-                addr: i * 8192,
-                pattern: PatternId(0),
-            })
-            .collect();
-        let run = |channels: usize| {
-            let mut m = Machine::new(SystemConfig::table1(1, 8 << 20).with_channels(channels));
-            m.malloc(512 * 8192);
-            let mut p = ScriptedProgram::new(stream.clone());
-            run_one(&mut m, &mut p).cpu_cycles
-        };
-        let one = run(1);
-        let two = run(2);
-        assert!(two <= one, "2 channels {two} !<= 1 channel {one}");
-    }
-
-    #[test]
-    fn multi_channel_is_functionally_identical() {
-        // Gathers, stores and coherence behave identically on 1, 2 and
-        // 4 channels — lines never span channels.
-        let run = |channels: usize| {
-            let mut m = Machine::new(SystemConfig::table1(1, 8 << 20).with_channels(channels));
-            // Enough tuples to spread over several DRAM rows.
-            let base = m.pattmalloc(1024 * 64, true, PatternId(7));
-            for t in 0..1024u64 {
-                m.poke(base + t * 64, 5000 + t);
-            }
-            let mut ops = Vec::new();
-            for grp in (0..128u64).step_by(7) {
-                for k in 0..8u64 {
-                    ops.push(Op::Load {
-                        pc: 1,
-                        addr: base + grp * 8 * 64 + 8 * k,
-                        pattern: PatternId(7),
-                    });
-                }
-                ops.push(Op::Store {
-                    pc: 2,
-                    addr: base + grp * 8 * 64,
-                    pattern: PatternId(0),
-                    value: grp,
-                });
-            }
-            let mut p = ScriptedProgram::new(ops);
-            let r = run_one(&mut m, &mut p);
-            m.drain_caches();
-            let image: Vec<u64> = (0..1024).map(|t| m.peek(base + t * 64)).collect();
-            (r.results[0], image)
-        };
-        let (sum1, img1) = run(1);
-        let (sum2, img2) = run(2);
-        let (sum4, img4) = run(4);
-        assert_eq!(sum1, sum2);
-        assert_eq!(sum1, sum4);
-        assert_eq!(img1, img2);
-        assert_eq!(img1, img4);
-    }
-
-    #[test]
-    fn htap_style_stop_cuts_off_other_core() {
-        let mut m = small_machine(2);
-        m.malloc(4096);
-        let mut p0 = ScriptedProgram::new(vec![Op::Compute(10)]);
-        // Endless-ish second program.
-        let mut p1 = ScriptedProgram::new(vec![Op::Compute(1); 100_000]);
-        let r = {
-            let mut programs: Vec<&mut dyn Program> = vec![&mut p0, &mut p1];
-            m.run(&mut programs, StopWhen::CoreDone(0))
-        };
-        assert!(r.cpu_cycles <= 20);
-        assert!(r.progress[1] < 100_000, "core 1 must be cut off");
+        debug_assert!(self.wb.is_empty(), "writebacks must not cascade");
+        self.wb = wb;
     }
 }

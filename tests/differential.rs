@@ -243,3 +243,84 @@ fn two_core_disjoint_matches_flat_memory() {
         }
     }
 }
+
+/// `StopWhen::CoreDone`: stopping when core 0 finishes (the §5.1 HTAP
+/// cutoff) must not corrupt anything. Core 0 runs a mixed read/write
+/// stream to completion; core 1 issues only loads, so however far it
+/// gets before the cutoff, its values and the drained memory image must
+/// still match the flat reference exactly.
+#[test]
+fn core_done_cutoff_matches_flat_memory() {
+    let mut rng = SplitMix(0xD1F5);
+    for _ in 0..CASES {
+        let ops0 = raw_ops(&mut rng);
+        let ops1 = raw_ops(&mut rng);
+        let tuples: u64 = 64;
+        let mut m = Machine::new(SystemConfig::table1(2, 4 << 20));
+        let base = m.pattmalloc(tuples * 64, true, PatternId(7));
+        let calc = OverlapCalc::new(GsDramConfig::gs_dram_8_3_3(), 64, 128);
+        let mut flat: HashMap<u64, u64> = HashMap::new();
+        for t in 0..tuples {
+            for f in 0..8u64 {
+                let a = base + t * 64 + f * 8;
+                let v = 0x7000_0000 + t * 8 + f;
+                m.poke(a, v);
+                flat.insert(a, v);
+            }
+        }
+        // Core 0: mixed stream on tuples 0..32; core 1: loads only on
+        // tuples 32..64 (its cutoff point therefore cannot change the
+        // final image). Pattern-7 lines never cross the 8-tuple group
+        // boundary, so the ranges are disjoint.
+        let mut ops_c0 = Vec::new();
+        let mut exp_c0 = Vec::new();
+        for r in &ops0 {
+            let r = RawOp {
+                tuple: r.tuple % 32,
+                ..r.clone()
+            };
+            let (op, pattern, addr) = to_op(base, &r);
+            let fa = flat_addr(&calc, addr, pattern);
+            match r.write {
+                Some(v) => {
+                    flat.insert(fa, v);
+                }
+                None => exp_c0.push(*flat.get(&fa).expect("initialised")),
+            }
+            ops_c0.push(op);
+        }
+        let mut ops_c1 = Vec::new();
+        let mut exp_c1 = Vec::new();
+        for r in &ops1 {
+            let r = RawOp {
+                tuple: 32 + r.tuple % 32,
+                write: None,
+                ..r.clone()
+            };
+            let (op, pattern, addr) = to_op(base, &r);
+            let fa = flat_addr(&calc, addr, pattern);
+            exp_c1.push(*flat.get(&fa).expect("initialised"));
+            ops_c1.push(op);
+        }
+        let mut p0 = ScriptedProgram::new(ops_c0);
+        let mut p1 = ScriptedProgram::new(ops_c1);
+        {
+            let mut programs: Vec<&mut dyn Program> = vec![&mut p0, &mut p1];
+            m.run(&mut programs, StopWhen::CoreDone(0));
+        }
+        // Core 0 ran to completion: its loads match the reference
+        // exactly. Core 1 was cut off at an arbitrary point: whatever
+        // it did load must be a prefix of the reference sequence.
+        assert_eq!(p0.loaded_values(), &exp_c0[..], "core 0 loads diverge");
+        assert!(
+            exp_c1.starts_with(p1.loaded_values()),
+            "core 1 loads are not a prefix of the reference"
+        );
+        // The drained image equals the reference with only core 0's
+        // stores applied — the cutoff leaked nothing.
+        m.drain_caches();
+        for (a, v) in &flat {
+            assert_eq!(m.peek(*a), *v, "final memory diverges at {a:#x}");
+        }
+    }
+}
