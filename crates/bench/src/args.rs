@@ -33,6 +33,14 @@ impl Args {
     /// The first non-flag argument (e.g. the workload or experiment
     /// name), skipping values that belong to `--name value` pairs.
     pub fn positional(&self) -> Option<&str> {
+        self.positional_at(0)
+    }
+
+    /// The `n`-th (0-based) non-flag argument — `positional_at(1)` is
+    /// the experiment name in `sweep fig9 --serial` or
+    /// `trace fig9 --out t.json`.
+    pub fn positional_at(&self, n: usize) -> Option<&str> {
+        let mut seen = 0usize;
         let mut it = self.argv.iter();
         while let Some(a) = it.next() {
             if let Some(flag) = a.strip_prefix("--") {
@@ -40,7 +48,10 @@ impl Args {
                     it.next(); // skip this flag's value
                 }
             } else {
-                return Some(a);
+                if seen == n {
+                    return Some(a);
+                }
+                seen += 1;
             }
         }
         None
@@ -57,6 +68,8 @@ impl Args {
         "serial",
         "list",
         "quiet",
+        "hist",
+        "all",
     ];
 
     /// `--name value` lookup.
@@ -116,6 +129,10 @@ mod tests {
         assert_eq!(a.positional(), Some("analytics"));
         let b = Args::new(["sweep", "fig10"]);
         assert_eq!(b.positional(), Some("sweep"));
+        assert_eq!(b.positional_at(1), Some("fig10"));
+        assert_eq!(b.positional_at(2), None);
+        let t = Args::new(["trace", "--out", "t.json", "fig9", "--hist"]);
+        assert_eq!(t.positional_at(1), Some("fig9"));
         let c = Args::new(["--prefetch", "htap"]);
         assert_eq!(c.positional(), Some("htap"));
         assert_eq!(Args::new(["--tuples", "4096"]).positional(), None);

@@ -24,6 +24,7 @@ use gsdram_core::{
     gathered_elements, ColumnId, Geometry, GsDramConfig, GsModule, PatternId, RowId,
 };
 use gsdram_dram::controller::{RowPolicy, SchedPolicy};
+use gsdram_telemetry::{chrome_trace, Telemetry, DEFAULT_CAPACITY};
 use gsdram_workloads::common::SplitMix;
 use gsdram_workloads::gemm::GemmVariant;
 use gsdram_workloads::graph::GraphLayout;
@@ -166,17 +167,97 @@ pub fn names() -> Vec<&'static str> {
 pub fn run_experiment(def: &ExperimentDef, args: &Args) -> StatsNode {
     let specs = (def.specs)(args);
     let outcomes = sweep::run(&specs, SweepMode::from_args(args));
+    assemble(def, args, &outcomes)
+}
+
+/// [`run_experiment`] with a telemetry collector attached to every run:
+/// returns the same stats tree (observation never perturbs simulation,
+/// so it is bit-identical to the untraced one) plus each run's
+/// [`Telemetry`], keyed by spec id in input order. `capacity` bounds
+/// each collector's event/occupancy ring buffers.
+pub fn run_experiment_traced(
+    def: &ExperimentDef,
+    args: &Args,
+    capacity: usize,
+) -> (StatsNode, Vec<(String, Telemetry)>) {
+    let specs = (def.specs)(args);
+    let pairs = sweep::run_traced(&specs, SweepMode::from_args(args), capacity);
+    let (outcomes, telemetry): (Vec<RunOutcome>, Vec<Telemetry>) = pairs.into_iter().unzip();
+    let node = assemble(def, args, &outcomes);
+    let traces = outcomes
+        .iter()
+        .map(|o| o.spec.id.clone())
+        .zip(telemetry)
+        .collect();
+    (node, traces)
+}
+
+/// Folds executed outcomes into the experiment's full stats tree —
+/// the one place the tree shape is defined, shared by the traced and
+/// untraced paths so they cannot drift apart.
+fn assemble(def: &ExperimentDef, args: &Args, outcomes: &[RunOutcome]) -> StatsNode {
     let runs = StatsNode::new("runs").children_from(outcomes.iter().map(RunOutcome::stats));
     StatsNode::new(def.name)
         .text("title", def.title)
         .counter("total_runs", outcomes.len() as u64)
         .child(runs)
-        .child((def.render)(args, &outcomes))
+        .child((def.render)(args, outcomes))
+}
+
+/// Renders each run's per-channel read-latency histogram as an ASCII
+/// table (count/mean/quantiles plus a bar per occupied bucket) — the
+/// `--hist` output of the sweep runner.
+pub fn hist_summary(traces: &[(String, Telemetry)]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for (id, t) in traces {
+        for ch in 0..t.channels() {
+            let Some(h) = t.read_latency(ch) else {
+                continue;
+            };
+            if h.is_empty() {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{id} ch{ch} read latency (mem cycles): \
+                 n={} mean={:.1} p50={} p95={} p99={} max={}",
+                h.count(),
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99),
+                h.max(),
+            );
+            let peak = h.nonempty().map(|(_, _, c)| c).max().unwrap_or(1);
+            for (lo, hi, count) in h.nonempty() {
+                let bar = "#".repeat(((count * 40).div_ceil(peak)) as usize);
+                let _ = writeln!(out, "  {lo:>8}..{hi:<8} {count:>8} {bar}");
+            }
+        }
+    }
+    out
+}
+
+/// Writes `contents` to `path`, creating parent directories.
+fn write_output(path: &str, contents: &str) -> Result<(), String> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+        }
+    }
+    std::fs::write(path, contents).map_err(|e| format!("write {path}: {e}"))?;
+    println!("wrote {path}");
+    Ok(())
 }
 
 /// Runs the named experiment with standard output handling: prints the
-/// stats tree (unless `--quiet`) and writes pretty JSON to `--json
-/// <path>`, creating parent directories.
+/// stats tree (unless `--quiet`), `--hist` adds per-run read-latency
+/// histograms, `--trace-out <path>` writes a Chrome trace-event JSON
+/// of every run (`--trace-cap N` bounds each event ring), and `--json
+/// <path>` writes the pretty stats JSON — all creating parent
+/// directories. The stats tree (and therefore the `--json` figure
+/// file) is byte-identical whether or not tracing was requested.
 pub fn run_named(name: &str, args: &Args) -> Result<StatsNode, String> {
     let def = find(name).ok_or_else(|| {
         format!(
@@ -184,19 +265,32 @@ pub fn run_named(name: &str, args: &Args) -> Result<StatsNode, String> {
             names().join(", ")
         )
     })?;
-    let node = run_experiment(def, args);
-    if !args.flag("--quiet") {
-        print!("{}", node.render());
-    }
-    if let Some(path) = args.value("--json") {
-        if let Some(dir) = std::path::Path::new(&path).parent() {
-            if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir)
-                    .map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
-            }
+    let trace_out = args.value("--trace-out");
+    let want_hist = args.flag("--hist");
+    let node = if trace_out.is_some() || want_hist {
+        let capacity = args.usize("--trace-cap", DEFAULT_CAPACITY);
+        let (node, traces) = run_experiment_traced(def, args, capacity);
+        if !args.flag("--quiet") {
+            print!("{}", node.render());
         }
-        std::fs::write(&path, node.to_json_pretty()).map_err(|e| format!("write {path}: {e}"))?;
-        println!("wrote {path}");
+        if want_hist {
+            print!("{}", hist_summary(&traces));
+        }
+        if let Some(path) = trace_out {
+            let named: Vec<(String, &Telemetry)> =
+                traces.iter().map(|(id, t)| (id.clone(), t)).collect();
+            write_output(&path, &chrome_trace(&named))?;
+        }
+        node
+    } else {
+        let node = run_experiment(def, args);
+        if !args.flag("--quiet") {
+            print!("{}", node.render());
+        }
+        node
+    };
+    if let Some(path) = args.value("--json") {
+        write_output(&path, &node.to_json_pretty())?;
     }
     Ok(node)
 }

@@ -8,12 +8,14 @@
 //! spec — which is what lets the sweep runner execute specs on worker
 //! threads and still produce output bit-identical to a serial run.
 
+use gsdram_core::port::EventSink;
 use gsdram_core::stats::{ReportStats, StatsNode};
 use gsdram_core::PatternId;
 use gsdram_dram::controller::{RowPolicy, SchedPolicy};
 use gsdram_system::config::SystemConfig;
 use gsdram_system::machine::{Machine, RunReport, StopWhen};
 use gsdram_system::ops::Program;
+use gsdram_telemetry::{Collector, Telemetry};
 use gsdram_workloads::filter::FilterQuery;
 use gsdram_workloads::gemm::{program as gemm_program, Gemm, GemmVariant};
 use gsdram_workloads::graph::{scan as graph_scan, updates as graph_updates, Graph, GraphLayout};
@@ -430,7 +432,32 @@ impl RunSpec {
     /// counts, transaction completion) is wrong — a simulator bug, not
     /// an experiment outcome.
     pub fn execute(&self) -> RunOutcome {
+        self.execute_inner(None)
+    }
+
+    /// Executes the spec with a telemetry [`Collector`] attached,
+    /// returning the outcome together with everything the collector
+    /// gathered (event ring, histograms, per-pattern/per-bank
+    /// breakdowns). `capacity` bounds the raw-event and occupancy
+    /// ring buffers.
+    ///
+    /// Observation never perturbs simulation: the outcome (and its
+    /// stats tree) is bit-identical to [`RunSpec::execute`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`RunSpec::execute`].
+    pub fn execute_traced(&self, capacity: usize) -> (RunOutcome, Telemetry) {
+        let collector = Collector::with_capacity(capacity);
+        let outcome = self.execute_inner(Some(collector.sink()));
+        (outcome, collector.into_telemetry())
+    }
+
+    fn execute_inner(&self, sink: Option<Box<dyn EventSink>>) -> RunOutcome {
         let mut m = self.machine.build();
+        if let Some(sink) = sink {
+            m.attach_observer(sink);
+        }
         let impulse = self.machine.impulse;
         let mut extra: Vec<(String, f64)> = Vec::new();
         let mut scale = 1.0f64;

@@ -10,6 +10,8 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use gsdram_telemetry::Telemetry;
+
 use crate::spec::{RunOutcome, RunSpec};
 
 /// How a sweep should execute.
@@ -39,15 +41,15 @@ fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Executes every spec in input order on the calling thread.
-pub fn run_serial(specs: &[RunSpec]) -> Vec<RunOutcome> {
-    specs.iter().map(RunSpec::execute).collect()
-}
-
-/// Executes every spec across `threads` scoped worker threads
-/// (`0` = one per available core). Outcomes come back in input order
-/// regardless of completion order.
-pub fn run_parallel(specs: &[RunSpec], threads: usize) -> Vec<RunOutcome> {
+/// The generic parallel engine behind [`run_parallel`] and
+/// [`run_traced`]: workers claim indices from a shared counter and
+/// return `(index, result)` lists; the parent scatters them back into
+/// input order, so completion order never shows in the result.
+fn run_parallel_with<T: Send>(
+    specs: &[RunSpec],
+    threads: usize,
+    exec: impl Fn(&RunSpec) -> T + Sync,
+) -> Vec<T> {
     let threads = if threads == 0 {
         default_threads()
     } else {
@@ -55,19 +57,17 @@ pub fn run_parallel(specs: &[RunSpec], threads: usize) -> Vec<RunOutcome> {
     };
     let threads = threads.min(specs.len()).max(1);
     if threads <= 1 {
-        return run_serial(specs);
+        return specs.iter().map(exec).collect();
     }
     let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<RunOutcome>> = Vec::new();
+    let mut slots: Vec<Option<T>> = Vec::new();
     slots.resize_with(specs.len(), || None);
-    // Workers claim indices from a shared counter and return
-    // (index, outcome) lists; the parent scatters them back into
-    // input order, so completion order never shows in the result.
     std::thread::scope(|scope| {
-        let gathered: Vec<Vec<(usize, RunOutcome)>> = {
+        let gathered: Vec<Vec<(usize, T)>> = {
             let mut handles = Vec::with_capacity(threads);
             for _ in 0..threads {
                 let next = &next;
+                let exec = &exec;
                 handles.push(scope.spawn(move || {
                     let mut mine = Vec::new();
                     loop {
@@ -75,7 +75,7 @@ pub fn run_parallel(specs: &[RunSpec], threads: usize) -> Vec<RunOutcome> {
                         if i >= specs.len() {
                             break;
                         }
-                        mine.push((i, specs[i].execute()));
+                        mine.push((i, exec(&specs[i])));
                     }
                     mine
                 }));
@@ -95,11 +95,41 @@ pub fn run_parallel(specs: &[RunSpec], threads: usize) -> Vec<RunOutcome> {
         .collect()
 }
 
+/// Executes every spec in input order on the calling thread.
+pub fn run_serial(specs: &[RunSpec]) -> Vec<RunOutcome> {
+    specs.iter().map(RunSpec::execute).collect()
+}
+
+/// Executes every spec across `threads` scoped worker threads
+/// (`0` = one per available core). Outcomes come back in input order
+/// regardless of completion order.
+pub fn run_parallel(specs: &[RunSpec], threads: usize) -> Vec<RunOutcome> {
+    run_parallel_with(specs, threads, RunSpec::execute)
+}
+
 /// Executes the specs in the given mode.
 pub fn run(specs: &[RunSpec], mode: SweepMode) -> Vec<RunOutcome> {
     match mode {
         SweepMode::Serial => run_serial(specs),
         SweepMode::Parallel(n) => run_parallel(specs, n),
+    }
+}
+
+/// Executes the specs in the given mode with a telemetry collector
+/// attached to every run ([`RunSpec::execute_traced`]). `capacity`
+/// bounds each collector's event/occupancy ring buffers. Observation
+/// never perturbs simulation, so the outcomes are bit-identical to
+/// [`run`] — and traced parallel sweeps stay bit-identical to traced
+/// serial ones, because both go through the same slot-scatter engine.
+pub fn run_traced(
+    specs: &[RunSpec],
+    mode: SweepMode,
+    capacity: usize,
+) -> Vec<(RunOutcome, Telemetry)> {
+    let exec = |s: &RunSpec| s.execute_traced(capacity);
+    match mode {
+        SweepMode::Serial => specs.iter().map(exec).collect(),
+        SweepMode::Parallel(n) => run_parallel_with(specs, n, exec),
     }
 }
 

@@ -3,10 +3,11 @@
 //! emit must survive a JSON round-trip unchanged.
 
 use gsdram_bench::args::Args;
-use gsdram_bench::experiments::{find, run_experiment};
+use gsdram_bench::experiments::{find, run_experiment, run_experiment_traced};
 use gsdram_bench::spec::{MachineSpec, RunSpec, WorkloadSpec};
-use gsdram_bench::sweep::{run_parallel, run_serial};
+use gsdram_bench::sweep::{run_parallel, run_serial, run_traced, SweepMode};
 use gsdram_core::stats::StatsNode;
+use gsdram_telemetry::json::Json;
 use gsdram_workloads::imdb::{Layout, TxnSpec};
 
 fn small_specs() -> Vec<RunSpec> {
@@ -72,6 +73,55 @@ fn registry_experiment_parallel_matches_serial() {
     let parallel = run_experiment(def, &Args::new(["--tuples", "2048", "--threads", "4"]));
     assert_eq!(serial, parallel);
     assert_eq!(serial.to_json_pretty(), parallel.to_json_pretty());
+}
+
+/// The telemetry invariant at the sweep level: a traced sweep (serial
+/// or parallel) produces outcomes byte-identical to an untraced one,
+/// while its collectors actually saw the runs.
+#[test]
+fn traced_sweep_is_bit_identical_to_untraced() {
+    let specs = small_specs();
+    let plain = run_serial(&specs);
+    for mode in [SweepMode::Serial, SweepMode::Parallel(3)] {
+        let traced = run_traced(&specs, mode, 1024);
+        assert_eq!(plain.len(), traced.len());
+        for (p, (t, telemetry)) in plain.iter().zip(&traced) {
+            assert_eq!(p.spec, t.spec, "order must be preserved");
+            assert_eq!(
+                p.stats().to_json(),
+                t.stats().to_json(),
+                "{}: observation must not perturb the run ({mode:?})",
+                p.spec.id
+            );
+            assert!(telemetry.total_events() > 0, "{}: no events", p.spec.id);
+            assert!(telemetry.read_latency(0).is_some_and(|h| h.count() > 0));
+        }
+    }
+}
+
+/// The acceptance criterion one level up: a whole registry experiment
+/// run with collectors attached emits figure JSON byte-identical to
+/// the untraced run, and its Chrome trace is well-formed JSON.
+#[test]
+fn traced_experiment_figure_json_matches_untraced() {
+    let def = find("fig10").expect("registered");
+    let args = Args::new(["--tuples", "2048", "--serial"]);
+    let plain = run_experiment(def, &args);
+    let (traced, traces) = run_experiment_traced(def, &args, 4096);
+    assert_eq!(plain.to_json_pretty(), traced.to_json_pretty());
+    assert_eq!(
+        traces.len(),
+        plain.counter_at("total_runs").unwrap() as usize
+    );
+    let chrome = gsdram_telemetry::chrome_trace(
+        &traces
+            .iter()
+            .map(|(id, t)| (id.clone(), t))
+            .collect::<Vec<_>>(),
+    );
+    let doc = Json::parse(&chrome).expect("chrome trace parses");
+    let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+    assert!(!events.is_empty());
 }
 
 /// Every value kind an experiment emits (counters, gauges, text,

@@ -3,7 +3,10 @@
 //! ```text
 //! gsdram-sim <workload> [options]
 //! gsdram-sim sweep <experiment> [--serial] [--threads N] [--json PATH]
+//!                  [--trace-out PATH] [--hist] [--trace-cap N]
 //! gsdram-sim sweep --list
+//! gsdram-sim trace <experiment> [--run SUBSTR | --all] [--out PATH]
+//!                  [--hist] [--trace-cap N]
 //!
 //! Workloads:
 //!   transactions   DB transactions (--layout, --txns, --mix r-w-rw)
@@ -15,7 +18,15 @@
 //!   replay         replay a trace (--file T [--alloc BYTES --pattern P])
 //!   sweep          run a registered experiment (fig9, fig13, ...) in
 //!                  parallel; --serial / --threads N control execution,
-//!                  --json PATH writes the full stats tree
+//!                  --json PATH writes the full stats tree,
+//!                  --trace-out PATH a Chrome trace of every run,
+//!                  --hist per-run read-latency histograms
+//!   trace          run an experiment's specs with telemetry attached
+//!                  and write a Chrome trace-event JSON (Perfetto /
+//!                  chrome://tracing). Traces the first spec unless
+//!                  --run SUBSTR selects by id or --all takes them all;
+//!                  --out PATH (default trace.json), --trace-cap N
+//!                  bounds the event ring, --hist prints histograms
 //!
 //! Common options:
 //!   --tuples N     table/node/pair count        (default 65536)
@@ -35,12 +46,13 @@ use std::process::ExitCode;
 
 use gsdram_bench::args::Args;
 use gsdram_bench::experiments;
-use gsdram_bench::spec::MachineSpec;
+use gsdram_bench::spec::{MachineSpec, RunSpec};
 use gsdram_core::stats::ReportStats;
 use gsdram_system::config::SystemConfig;
 use gsdram_system::machine::{Machine, RunReport, StopWhen};
 use gsdram_system::ops::Program;
 use gsdram_system::trace::{TraceRecorder, TraceReplayer};
+use gsdram_telemetry::{chrome_trace, Telemetry, DEFAULT_CAPACITY};
 use gsdram_workloads::gemm::{program as gemm_program, Gemm, GemmVariant};
 use gsdram_workloads::graph::{scan as graph_scan, updates as graph_updates, Graph, GraphLayout};
 use gsdram_workloads::imdb::{analytics, transactions, Layout, Table, TxnSpec};
@@ -153,37 +165,9 @@ fn sweep(args: &Args) -> ExitCode {
         return ExitCode::SUCCESS;
     }
     // `sweep` is the first positional; the experiment name is the next.
-    let name = {
-        let mut seen_sweep = false;
-        let mut found = None;
-        let probe = args.raw().to_vec();
-        let mut it = probe.iter();
-        while let Some(a) = it.next() {
-            if a.starts_with("--") {
-                if !matches!(
-                    a.as_str(),
-                    "--prefetch"
-                        | "--impulse"
-                        | "--fcfs"
-                        | "--closed-row"
-                        | "--full"
-                        | "--serial"
-                        | "--list"
-                        | "--quiet"
-                ) {
-                    it.next();
-                }
-            } else if !seen_sweep {
-                seen_sweep = true;
-            } else {
-                found = Some(a.clone());
-                break;
-            }
-        }
-        found
-    };
-    let Some(name) = name else {
+    let Some(name) = args.positional_at(1).map(str::to_owned) else {
         eprintln!("usage: gsdram-sim sweep <experiment> [--serial] [--threads N] [--json PATH]");
+        eprintln!("       gsdram-sim sweep [--trace-out PATH] [--hist] ...");
         eprintln!("       gsdram-sim sweep --list");
         return ExitCode::FAILURE;
     };
@@ -196,17 +180,97 @@ fn sweep(args: &Args) -> ExitCode {
     }
 }
 
+/// `gsdram-sim trace <experiment>`: execute an experiment's specs with
+/// a telemetry collector attached and export a Chrome trace-event
+/// JSON. Runs serially — traces are about *where* time goes inside one
+/// run, not sweep throughput.
+fn trace(args: &Args) -> ExitCode {
+    let usage = || {
+        eprintln!(
+            "usage: gsdram-sim trace <experiment> [--run SUBSTR | --all] \
+             [--out PATH] [--hist] [--trace-cap N]"
+        );
+        ExitCode::FAILURE
+    };
+    let Some(name) = args.positional_at(1).map(str::to_owned) else {
+        return usage();
+    };
+    let Some(def) = experiments::find(&name) else {
+        eprintln!(
+            "error: unknown experiment '{name}' (known: {})",
+            experiments::names().join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+    let specs = (def.specs)(args);
+    if specs.is_empty() {
+        eprintln!("error: experiment '{name}' is purely analytic — no runs to trace");
+        return ExitCode::FAILURE;
+    }
+    let selected: Vec<&RunSpec> = if args.flag("--all") {
+        specs.iter().collect()
+    } else if let Some(f) = args.value("--run") {
+        specs.iter().filter(|s| s.id.contains(&f)).collect()
+    } else {
+        vec![&specs[0]]
+    };
+    if selected.is_empty() {
+        eprintln!("error: --run matched none of:");
+        for s in &specs {
+            eprintln!("  {}", s.id);
+        }
+        return ExitCode::FAILURE;
+    }
+    let capacity = args.usize("--trace-cap", DEFAULT_CAPACITY);
+    let mut traces: Vec<(String, Telemetry)> = Vec::new();
+    for spec in selected {
+        let (outcome, telemetry) = spec.execute_traced(capacity);
+        println!(
+            "{}: {} cycles, {} events ({} retained, {} dropped)",
+            spec.id,
+            outcome.report.cpu_cycles,
+            telemetry.total_events(),
+            telemetry.events().count(),
+            telemetry.dropped(),
+        );
+        traces.push((spec.id.clone(), telemetry));
+    }
+    if args.flag("--hist") {
+        print!("{}", experiments::hist_summary(&traces));
+    }
+    let out = args.value("--out").unwrap_or_else(|| "trace.json".into());
+    let named: Vec<(String, &Telemetry)> = traces.iter().map(|(id, t)| (id.clone(), t)).collect();
+    let json = chrome_trace(&named);
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: mkdir {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("error: write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out} ({} bytes)", json.len());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = Args::from_env();
     let Some(workload) = args.positional().map(str::to_owned) else {
         eprintln!(
-            "usage: gsdram-sim <transactions|analytics|htap|gemm|kvstore|graph|replay|sweep> [options]"
+            "usage: gsdram-sim <transactions|analytics|htap|gemm|kvstore|graph|replay|sweep|trace> [options]"
         );
         eprintln!("run with a workload name; see crate docs for options");
         return ExitCode::FAILURE;
     };
     if workload == "sweep" {
         return sweep(&args);
+    }
+    if workload == "trace" {
+        return trace(&args);
     }
     let tuples = args.u64("--tuples", 65_536);
     let seed = args.u64("--seed", 42);

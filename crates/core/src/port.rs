@@ -10,7 +10,8 @@
 //! Alongside the request/response types, this module defines the
 //! [`SimEvent`] observer contract: every component announces its
 //! externally meaningful actions (cache fills and evictions, coherence
-//! overlap flushes, DRAM enqueues and completions) through an
+//! overlap flushes, DRAM enqueues, commands, request service and
+//! completions) through an
 //! [`EventHub`]. Tracers and profilers attach at the hub instead of
 //! being threaded through component code, and when nothing is attached
 //! the hub is a single branch on `None` — events are constructed lazily,
@@ -80,6 +81,36 @@ pub enum CacheLevel {
     L2,
 }
 
+/// The kind of a DRAM command, as seen by observers.
+///
+/// This is the telemetry-facing mirror of the controller's internal
+/// command type: enough to classify bus activity without exposing the
+/// timing machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DramCmdKind {
+    /// ACTIVATE: open a row into the bank's row buffer.
+    Activate,
+    /// PRECHARGE: close the bank's open row.
+    Precharge,
+    /// READ column command (a GS-DRAM gather is one of these).
+    Read,
+    /// WRITE column command.
+    Write,
+    /// All-bank REFRESH.
+    Refresh,
+}
+
+/// How a column command found the bank's row buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowOutcome {
+    /// The needed row was already open.
+    Hit,
+    /// The bank was precharged; one ACTIVATE sufficed.
+    Closed,
+    /// Another row was open; PRECHARGE + ACTIVATE were needed.
+    Conflict,
+}
+
 /// One externally meaningful action of a simulator component.
 ///
 /// Addresses are line-aligned byte addresses; `pattern` is the pattern
@@ -147,6 +178,57 @@ pub enum SimEvent {
         /// The controller-level request id.
         id: u64,
         /// Completion time in memory-controller cycles.
+        at_mem: u64,
+    },
+    /// A memory controller put one command on the command bus.
+    DramCommand {
+        /// Channel whose controller issued the command.
+        channel: usize,
+        /// Rank the command targets.
+        rank: usize,
+        /// Target bank; `None` for the all-bank REFRESH.
+        bank: Option<usize>,
+        /// What was issued.
+        kind: DramCmdKind,
+        /// Issue time in memory-controller cycles.
+        at_mem: u64,
+    },
+    /// A column command retired a queued request: the one event that
+    /// carries a request's whole service story (row-buffer outcome,
+    /// queue pressure at issue, end-to-end latency).
+    DramService {
+        /// The controller-level request id.
+        id: u64,
+        /// Channel that served the request.
+        channel: usize,
+        /// Bank the column command targeted.
+        bank: usize,
+        /// Pattern carried on the column command.
+        pattern: PatternId,
+        /// `true` for writebacks, `false` for reads.
+        write: bool,
+        /// How the request found the row buffer.
+        outcome: RowOutcome,
+        /// Controller queue occupancy (reads + writes) when the column
+        /// command issued, this request included.
+        queue_depth: u32,
+        /// Arrival time at the controller, memory cycles.
+        arrived_at_mem: u64,
+        /// Data-burst completion time, memory cycles.
+        done_at_mem: u64,
+    },
+    /// A logical gather could not be served by one column command and
+    /// was split into multiple per-line sub-requests — the Impulse
+    /// baseline's chip conflicts (paper §3). Each sub-request beyond
+    /// the first is one conflict.
+    GatherSplit {
+        /// Line-aligned byte address of the logical access.
+        addr: u64,
+        /// Pattern of the logical access.
+        pattern: PatternId,
+        /// Number of sub-requests the access expanded into (≥ 2).
+        subs: u32,
+        /// Expansion time in memory-controller cycles.
         at_mem: u64,
     },
 }

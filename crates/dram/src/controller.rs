@@ -19,8 +19,10 @@ use crate::command::DramCommand;
 use crate::energy::{EnergyMeter, PowerParams};
 use crate::mapping::DramLocation;
 use crate::timing::{Cycles, TimingParams};
+use gsdram_core::port::{DramCmdKind, EventHub, RowOutcome, SimEvent};
 use gsdram_core::stats::{ReportStats, StatsNode};
 use gsdram_core::PatternId;
+use gsdram_telemetry::Histogram;
 
 /// Unique request identifier assigned by the caller.
 pub type ReqId = u64;
@@ -135,6 +137,10 @@ pub struct ControllerStats {
     pub refreshes: u64,
     /// Sum of read latencies (arrival to data completion), memory cycles.
     pub total_read_latency: u64,
+    /// Smallest read latency observed, memory cycles (0 when no reads).
+    pub min_read_latency: u64,
+    /// Largest read latency observed, memory cycles (0 when no reads).
+    pub max_read_latency: u64,
     /// Memory cycles the data bus spent transferring bursts.
     pub bus_busy_cycles: u64,
 }
@@ -151,6 +157,8 @@ impl ReportStats for ControllerStats {
             .counter("precharges", self.precharges)
             .counter("refreshes", self.refreshes)
             .counter("total_read_latency", self.total_read_latency)
+            .counter("min_read_latency", self.min_read_latency)
+            .counter("max_read_latency", self.max_read_latency)
             .counter("bus_busy_cycles", self.bus_busy_cycles)
             .gauge("avg_read_latency", self.avg_read_latency())
             .gauge("row_hit_rate", self.row_hit_rate())
@@ -161,6 +169,15 @@ impl ControllerStats {
     /// Folds another controller's counters into this one — the one
     /// aggregation point for multi-channel/multi-controller totals.
     pub fn merge(&mut self, other: &Self) {
+        // min/max only mean something when their side has reads.
+        if other.reads > 0 {
+            self.min_read_latency = if self.reads == 0 {
+                other.min_read_latency
+            } else {
+                self.min_read_latency.min(other.min_read_latency)
+            };
+            self.max_read_latency = self.max_read_latency.max(other.max_read_latency);
+        }
         self.reads += other.reads;
         self.writes += other.writes;
         self.row_hits += other.row_hits;
@@ -171,6 +188,18 @@ impl ControllerStats {
         self.refreshes += other.refreshes;
         self.total_read_latency += other.total_read_latency;
         self.bus_busy_cycles += other.bus_busy_cycles;
+    }
+
+    /// Records one read latency into the sum/min/max counters.
+    fn note_read_latency(&mut self, latency: u64) {
+        self.total_read_latency += latency;
+        self.min_read_latency = if self.reads == 0 {
+            latency
+        } else {
+            self.min_read_latency.min(latency)
+        };
+        self.max_read_latency = self.max_read_latency.max(latency);
+        self.reads += 1;
     }
 
     /// Mean read latency in memory cycles.
@@ -237,6 +266,16 @@ pub struct MemController {
     pending_close: Vec<(usize, usize)>,
     /// Optional command trace for timing verification in tests.
     trace: Option<Vec<crate::command::TimedCommand>>,
+    /// Which channel this controller drives, echoed in emitted events.
+    channel: usize,
+    /// Read latency distribution (arrival to data completion).
+    /// Maintained unconditionally — never via the observer — so report
+    /// output is bit-identical whether or not a sink is attached.
+    read_hist: Histogram,
+    /// Queue occupancy (reads + writes, serviced request included)
+    /// sampled at each column-command retire. Unconditional, like
+    /// `read_hist`.
+    depth_hist: Histogram,
 }
 
 impl MemController {
@@ -269,7 +308,28 @@ impl MemController {
             stats: ControllerStats::default(),
             pending_close: Vec::new(),
             trace: None,
+            channel: 0,
+            read_hist: Histogram::new(),
+            depth_hist: Histogram::new(),
         }
+    }
+
+    /// Sets the channel index stamped on emitted [`SimEvent`]s
+    /// (defaults to 0 for single-channel use).
+    pub fn set_channel(&mut self, channel: usize) {
+        self.channel = channel;
+    }
+
+    /// Read latency distribution (arrival to data-burst completion, in
+    /// memory cycles), one sample per serviced read.
+    pub fn read_latency_hist(&self) -> &Histogram {
+        &self.read_hist
+    }
+
+    /// Queue occupancy distribution: reads + writes outstanding at each
+    /// column-command retire, the serviced request included.
+    pub fn queue_depth_hist(&self) -> &Histogram {
+        &self.depth_hist
     }
 
     /// Enables command tracing (used by the timing-verification tests).
@@ -369,7 +429,13 @@ impl MemController {
         }
     }
 
-    fn issue(&mut self, rank: usize, cmd: DramCommand, at: Cycles) -> Option<Cycles> {
+    fn issue(
+        &mut self,
+        rank: usize,
+        cmd: DramCommand,
+        at: Cycles,
+        events: &mut EventHub,
+    ) -> Option<Cycles> {
         self.accrue_energy(at);
         let done = self.ranks[rank].issue(&cmd, at);
         if let Some(end) = done {
@@ -391,6 +457,20 @@ impl MemController {
                 self.energy.on_refresh();
             }
         }
+        let channel = self.channel;
+        events.emit(|| SimEvent::DramCommand {
+            channel,
+            rank,
+            bank: cmd.bank(),
+            kind: match cmd {
+                DramCommand::Activate { .. } => DramCmdKind::Activate,
+                DramCommand::Precharge { .. } => DramCmdKind::Precharge,
+                DramCommand::Read { .. } => DramCmdKind::Read,
+                DramCommand::Write { .. } => DramCmdKind::Write,
+                DramCommand::Refresh => DramCmdKind::Refresh,
+            },
+            at_mem: at,
+        });
         if let Some(t) = self.trace.as_mut() {
             t.push(crate::command::TimedCommand { at, rank, cmd });
         }
@@ -400,18 +480,18 @@ impl MemController {
 
     /// Performs the periodic refresh sequence: precharge open banks,
     /// then an all-bank REFRESH.
-    fn do_refresh(&mut self) {
+    fn do_refresh(&mut self, events: &mut EventHub) {
         let mut t = self.now.max(self.next_refresh);
         for r in 0..self.ranks.len() {
             for bank in self.ranks[r].open_banks() {
                 let cmd = DramCommand::Precharge { bank };
                 let at = self.ranks[r].earliest(&cmd, t).max(self.cmd_bus_at);
-                self.issue(r, cmd, at);
+                self.issue(r, cmd, at, events);
                 t = t.max(at);
             }
             let cmd = DramCommand::Refresh;
             let at = self.ranks[r].earliest(&cmd, t).max(self.cmd_bus_at);
-            self.issue(r, cmd, at);
+            self.issue(r, cmd, at, events);
             t = t.max(at);
         }
         self.next_refresh += self.cfg.timing.refi;
@@ -528,7 +608,13 @@ impl MemController {
     /// Advances the controller's clock to `to`, issuing every command
     /// that can legally issue before then.
     pub fn advance(&mut self, to: Cycles) {
-        while self.step(to) {}
+        self.advance_observed(to, &mut EventHub::new());
+    }
+
+    /// [`advance`](Self::advance), emitting [`SimEvent`]s describing
+    /// each issued command and serviced request to `events`.
+    pub fn advance_observed(&mut self, to: Cycles, events: &mut EventHub) {
+        while self.step(to, events) {}
         self.now = self.now.max(to);
         self.accrue_energy(self.now);
     }
@@ -549,11 +635,17 @@ impl MemController {
     /// requests are not penalised). Returns the earliest completion
     /// time, or `None` if no pending work can ever complete.
     pub fn advance_until_completion(&mut self) -> Option<Cycles> {
+        self.advance_until_completion_observed(&mut EventHub::new())
+    }
+
+    /// [`advance_until_completion`](Self::advance_until_completion),
+    /// emitting [`SimEvent`]s to `events`.
+    pub fn advance_until_completion_observed(&mut self, events: &mut EventHub) -> Option<Cycles> {
         loop {
             if let Some(t) = self.peek_completion() {
                 return Some(t);
             }
-            if self.pending() == 0 || !self.step(Cycles::MAX) {
+            if self.pending() == 0 || !self.step(Cycles::MAX, events) {
                 return None;
             }
         }
@@ -590,7 +682,7 @@ impl MemController {
     /// Issues the single next command whose legal issue time is ≤
     /// `limit` (refresh included), advancing the clock exactly to it.
     /// Returns `false` when nothing could be issued within `limit`.
-    fn step(&mut self, limit: Cycles) -> bool {
+    fn step(&mut self, limit: Cycles, events: &mut EventHub) -> bool {
         {
             let read_cands = self.candidates(&self.readq, self.now);
             let have_ready_read = !read_cands.is_empty();
@@ -618,7 +710,7 @@ impl MemController {
                         if at > limit {
                             return false;
                         }
-                        self.issue(rank, cmd, at);
+                        self.issue(rank, cmd, at, events);
                         self.pending_close.remove(0);
                         return true;
                     }
@@ -631,7 +723,7 @@ impl MemController {
                 && self.next_refresh <= limit
                 && best.is_none_or(|(_, _, _, at, _, _)| at >= self.next_refresh)
             {
-                self.do_refresh();
+                self.do_refresh(events);
                 return true;
             }
 
@@ -645,7 +737,10 @@ impl MemController {
             }
 
             let is_column = cmd.is_column();
-            let data_end = self.issue(rank, cmd, at);
+            // Occupancy at issue, the serviced request included —
+            // sampled before the retire below removes it.
+            let depth_at_issue = self.pending() as u32;
+            let data_end = self.issue(rank, cmd, at, events);
             if is_column && self.cfg.row_policy == RowPolicy::Closed {
                 if let Some(bank) = cmd.bank() {
                     if !self.pending_close.contains(&(rank, bank)) {
@@ -665,18 +760,37 @@ impl MemController {
                     id: p.req.id,
                     at: at_done,
                 });
-                match p.served.unwrap_or(RowBufferState::Hit) {
+                let served = p.served.unwrap_or(RowBufferState::Hit);
+                match served {
                     RowBufferState::Hit => self.stats.row_hits += 1,
                     RowBufferState::Closed => self.stats.row_closed += 1,
                     RowBufferState::Conflict => self.stats.row_conflicts += 1,
                 }
+                self.depth_hist.record(u64::from(depth_at_issue));
                 match p.req.kind {
                     AccessKind::Read => {
-                        self.stats.reads += 1;
-                        self.stats.total_read_latency += at_done - p.arrival;
+                        let latency = at_done - p.arrival;
+                        self.stats.note_read_latency(latency);
+                        self.read_hist.record(latency);
                     }
                     AccessKind::Write => self.stats.writes += 1,
                 }
+                let channel = self.channel;
+                events.emit(|| SimEvent::DramService {
+                    id: p.req.id,
+                    channel,
+                    bank: p.req.loc.bank,
+                    pattern: p.req.pattern,
+                    write: p.req.kind == AccessKind::Write,
+                    outcome: match served {
+                        RowBufferState::Hit => RowOutcome::Hit,
+                        RowBufferState::Closed => RowOutcome::Closed,
+                        RowBufferState::Conflict => RowOutcome::Conflict,
+                    },
+                    queue_depth: depth_at_issue,
+                    arrived_at_mem: p.arrival,
+                    done_at_mem: at_done,
+                });
             } else {
                 // Remember how this request is being served: a precharge
                 // marks a row conflict; a bare activate a closed-row
@@ -750,6 +864,8 @@ mod tests {
             precharges: 7,
             refreshes: 8,
             total_read_latency: 9,
+            min_read_latency: 9,
+            max_read_latency: 9,
             bus_busy_cycles: 10,
         };
         let b = ControllerStats {
@@ -762,6 +878,8 @@ mod tests {
             precharges: 70,
             refreshes: 80,
             total_read_latency: 90,
+            min_read_latency: 4,
+            max_read_latency: 30,
             bus_busy_cycles: 100,
         };
         a.merge(&b);
@@ -777,13 +895,20 @@ mod tests {
                 precharges: 77,
                 refreshes: 88,
                 total_read_latency: 99,
+                min_read_latency: 4,
+                max_read_latency: 30,
                 bus_busy_cycles: 110,
             }
         );
-        // Merging the default is the identity.
+        // Merging the default is the identity: a read-free side must
+        // not drag min_read_latency to 0.
         let before = a;
         a.merge(&ControllerStats::default());
         assert_eq!(a, before);
+        // And merging *into* a read-free side adopts the other's range.
+        let mut empty = ControllerStats::default();
+        empty.merge(&before);
+        assert_eq!(empty, before);
     }
 
     #[test]
@@ -1152,6 +1277,110 @@ mod tests {
         assert!(c.stats().bus_utilisation(end) > 0.0);
         assert!(c.stats().bus_utilisation(end) <= 1.0);
         assert_eq!(c.stats().bus_utilisation(0), 0.0);
+    }
+
+    #[test]
+    fn latency_counters_and_histograms_agree() {
+        let mut c = MemController::new(quiet_cfg());
+        for i in 0..16 {
+            c.enqueue(read_req(i, i * 64 * 997), 0);
+        }
+        let end = c.drain();
+        c.take_completions(end);
+        let s = c.stats();
+        let h = c.read_latency_hist();
+        assert_eq!(h.count(), s.reads);
+        assert_eq!(h.sum(), s.total_read_latency);
+        assert_eq!(h.min(), s.min_read_latency);
+        assert_eq!(h.max(), s.max_read_latency);
+        assert!(s.min_read_latency > 0);
+        assert!(s.min_read_latency <= s.max_read_latency);
+        // One depth sample per serviced request; all 16 were queued
+        // when the first retired.
+        assert_eq!(c.queue_depth_hist().count(), s.reads + s.writes);
+        assert_eq!(c.queue_depth_hist().max(), 16);
+        assert_eq!(c.queue_depth_hist().min(), 1);
+    }
+
+    #[test]
+    fn observed_advance_emits_commands_and_service_events() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let seen: Rc<RefCell<Vec<SimEvent>>> = Rc::default();
+        let log = Rc::clone(&seen);
+        let mut hub = EventHub::new();
+        hub.attach(Box::new(move |ev: &SimEvent| log.borrow_mut().push(*ev)));
+        let mut c = MemController::new(quiet_cfg());
+        c.set_channel(3);
+        c.enqueue(read_req(1, 0), 0);
+        c.advance_observed(1000, &mut hub);
+        let done = c.take_completions(1000);
+        let seen = seen.borrow();
+        // A cold read is exactly ACT then READ.
+        let kinds: Vec<DramCmdKind> = seen
+            .iter()
+            .filter_map(|e| match *e {
+                SimEvent::DramCommand { channel, kind, .. } => {
+                    assert_eq!(channel, 3);
+                    Some(kind)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kinds, [DramCmdKind::Activate, DramCmdKind::Read]);
+        let service = seen
+            .iter()
+            .find_map(|e| match *e {
+                SimEvent::DramService {
+                    id,
+                    channel,
+                    outcome,
+                    queue_depth,
+                    arrived_at_mem,
+                    done_at_mem,
+                    write,
+                    ..
+                } => Some((
+                    id,
+                    channel,
+                    outcome,
+                    queue_depth,
+                    arrived_at_mem,
+                    done_at_mem,
+                    write,
+                )),
+                _ => None,
+            })
+            .expect("one DramService event");
+        assert_eq!(service, (1, 3, RowOutcome::Closed, 1, 0, done[0].at, false));
+    }
+
+    #[test]
+    fn observation_does_not_change_behaviour() {
+        // An attached sink must not perturb scheduling, completions or
+        // statistics — the bit-identity invariant at controller level.
+        let run = |observe: bool| {
+            let mut c = MemController::new(ControllerConfig::default());
+            let mut hub = EventHub::new();
+            if observe {
+                hub.attach(Box::new(|_: &SimEvent| {}));
+            }
+            for i in 0..32 {
+                c.enqueue(read_req(i, i * 64 * 997), i * 3);
+            }
+            let mut t = 0;
+            while c.pending() > 0 {
+                t += 1000;
+                c.advance_observed(t, &mut hub);
+            }
+            (
+                c.take_completions(t),
+                c.stats(),
+                c.read_latency_hist().clone(),
+                c.queue_depth_hist().clone(),
+            )
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -31,6 +31,7 @@ use gsdram_dram::controller::{
 };
 use gsdram_dram::energy::EnergyBreakdown;
 use gsdram_dram::mapping::AddressMap;
+use gsdram_telemetry::Histogram;
 
 use crate::config::{GatherSupport, SystemConfig};
 use crate::machine::Machine;
@@ -113,7 +114,11 @@ impl DramBridge {
                 gsdram_dram::mapping::Interleave::ColumnFirst,
             ),
             controllers: (0..cfg.channels.max(1))
-                .map(|_| MemController::new(cfg.controller.clone()))
+                .map(|ch| {
+                    let mut c = MemController::new(cfg.controller.clone());
+                    c.set_channel(ch);
+                    c
+                })
                 .collect(),
             overlap: OverlapCalc::new(cfg.gsdram.clone(), cfg.l2.line_bytes as u64, 128),
             gather: cfg.gather,
@@ -255,6 +260,15 @@ impl DramBridge {
     pub(crate) fn enqueue_write(&mut self, key: LineKey, at_cpu: u64, events: &mut EventHub) {
         let mut subs = std::mem::take(&mut self.sub_buf);
         self.collect_subs(key, &mut subs);
+        if subs.len() > 1 {
+            let (at_mem, n) = (self.to_mem(at_cpu), subs.len() as u32);
+            events.emit(|| SimEvent::GatherSplit {
+                addr: key.addr,
+                pattern: key.pattern,
+                subs: n,
+                at_mem,
+            });
+        }
         for &(a, pattern) in &subs {
             let (ch, local) = self.channel_of(a);
             let at = self.to_mem(at_cpu).max(self.controllers[ch].now());
@@ -291,6 +305,15 @@ impl DramBridge {
     ) {
         let mut subs = std::mem::take(&mut self.sub_buf);
         self.collect_subs(key, &mut subs);
+        if subs.len() > 1 {
+            let (at_mem, n) = (self.to_mem(at_cpu), subs.len() as u32);
+            events.emit(|| SimEvent::GatherSplit {
+                addr: key.addr,
+                pattern: key.pattern,
+                subs: n,
+                at_mem,
+            });
+        }
         let parent = self.alloc_req_id();
         self.outstanding.insert(
             parent,
@@ -345,16 +368,20 @@ impl DramBridge {
         true
     }
 
-    pub(crate) fn advance_channel(&mut self, ch: usize, t_mem: u64) {
-        self.controllers[ch].advance(t_mem);
+    pub(crate) fn advance_channel(&mut self, ch: usize, t_mem: u64, events: &mut EventHub) {
+        self.controllers[ch].advance_observed(t_mem, events);
     }
 
     pub(crate) fn take_channel_completions(&mut self, ch: usize, t_mem: u64) -> Vec<Completion> {
         self.controllers[ch].take_completions(t_mem)
     }
 
-    pub(crate) fn advance_channel_until_completion(&mut self, ch: usize) -> Option<u64> {
-        self.controllers[ch].advance_until_completion()
+    pub(crate) fn advance_channel_until_completion(
+        &mut self,
+        ch: usize,
+        events: &mut EventHub,
+    ) -> Option<u64> {
+        self.controllers[ch].advance_until_completion_observed(events)
     }
 
     /// Records one controller completion. Returns the finished logical
@@ -396,6 +423,25 @@ impl DramBridge {
             total.merge(&c.stats());
         }
         total
+    }
+
+    /// Per-channel read-latency histograms (arrival to data-burst
+    /// completion, memory cycles). Maintained unconditionally by the
+    /// controllers, so report output never depends on observation.
+    pub(crate) fn read_latency_hists(&self) -> Vec<Histogram> {
+        self.controllers
+            .iter()
+            .map(|c| c.read_latency_hist().clone())
+            .collect()
+    }
+
+    /// Per-channel queue-depth histograms (occupancy sampled at each
+    /// column-command retire).
+    pub(crate) fn queue_depth_hists(&self) -> Vec<Histogram> {
+        self.controllers
+            .iter()
+            .map(|c| c.queue_depth_hist().clone())
+            .collect()
     }
 
     /// DRAM energy summed over all channels.
@@ -464,7 +510,7 @@ impl Machine {
     pub(crate) fn sync_memory(&mut self, t_cpu: u64, programs: &mut [&mut dyn Program]) {
         let t_mem = self.bridge.to_mem(t_cpu);
         for ch in 0..self.bridge.channels() {
-            self.bridge.advance_channel(ch, t_mem);
+            self.bridge.advance_channel(ch, t_mem, &mut self.events);
             for c in self.bridge.take_channel_completions(ch, t_mem) {
                 if let Some(done) = self.bridge.note_completion(c, &mut self.events) {
                     self.deliver(done, programs);
@@ -479,7 +525,10 @@ impl Machine {
         loop {
             let mut progressed = false;
             for ch in 0..self.bridge.channels() {
-                let Some(t) = self.bridge.advance_channel_until_completion(ch) else {
+                let Some(t) = self
+                    .bridge
+                    .advance_channel_until_completion(ch, &mut self.events)
+                else {
                     continue;
                 };
                 for c in self.bridge.take_channel_completions(ch, t) {

@@ -8,6 +8,7 @@ use gsdram_cache::prefetch::PrefetchStats;
 use gsdram_core::stats::{ReportStats, StatsNode};
 use gsdram_dram::controller::ControllerStats;
 use gsdram_dram::energy::EnergyBreakdown;
+use gsdram_telemetry::Histogram;
 
 use crate::config::SystemConfig;
 use crate::energy::EnergyReport;
@@ -32,6 +33,14 @@ pub struct RunReport {
     pub l2: CacheStats,
     /// Memory controller statistics.
     pub dram: ControllerStats,
+    /// Per-channel read-latency histograms (arrival to data-burst
+    /// completion, in memory cycles). Maintained unconditionally by
+    /// the controllers — present whether or not an observer was
+    /// attached, so report JSON never depends on observation.
+    pub dram_read_latency: Vec<Histogram>,
+    /// Per-channel DRAM queue-depth histograms (reads + writes
+    /// outstanding, sampled at each column-command retire).
+    pub dram_queue_depth: Vec<Histogram>,
     /// DRAM energy breakdown.
     pub dram_energy: EnergyBreakdown,
     /// CPU + DRAM energy totals.
@@ -62,6 +71,7 @@ impl ReportStats for RunReport {
     ///   l1[i]:   cache counters per core
     ///   l2:      cache counters
     ///   dram:    controller counters
+    ///   dram_hist: per-channel read-latency / queue-depth histograms
     ///   dram_energy: energy breakdown (nJ)
     ///   energy:  CPU + DRAM totals (mJ)
     ///   prefetch[i]: per-core prefetcher counters
@@ -90,6 +100,16 @@ impl ReportStats for RunReport {
             )
             .child(self.l2.stats_node("l2"))
             .child(self.dram.stats_node("dram"))
+            .child({
+                let mut hist = StatsNode::new("dram_hist");
+                for (ch, h) in self.dram_read_latency.iter().enumerate() {
+                    hist = hist.child(h.stats_node(&format!("read_latency_ch{ch}")));
+                }
+                for (ch, h) in self.dram_queue_depth.iter().enumerate() {
+                    hist = hist.child(h.stats_node(&format!("queue_depth_ch{ch}")));
+                }
+                hist
+            })
             .child(self.dram_energy.stats_node("dram_energy"))
             .child(self.energy.stats_node("energy"))
             .children_from(
@@ -138,6 +158,8 @@ impl Machine {
             l1,
             l2,
             dram,
+            dram_read_latency: self.bridge.read_latency_hists(),
+            dram_queue_depth: self.bridge.queue_depth_hists(),
             dram_energy,
             energy,
             progress: programs.iter().map(|p| p.progress()).collect(),

@@ -525,3 +525,88 @@ fn observed_run_is_bit_identical_to_unobserved() {
     };
     assert_eq!(run(false), run(true));
 }
+
+#[test]
+fn collector_attached_run_matches_unobserved_report_json() {
+    // The full telemetry collector is the heaviest realistic observer;
+    // attaching it must leave the report's JSON byte-identical — the
+    // same invariant the CI determinism job checks on whole figures.
+    use gsdram_core::stats::ReportStats;
+    use gsdram_telemetry::Collector;
+
+    let run = |collector: Option<&Collector>| {
+        let mut m = small_machine(2);
+        if let Some(c) = collector {
+            m.attach_observer(c.sink());
+        }
+        let base = m.pattmalloc(64 * 64, true, PatternId(7));
+        for t in 0..64u64 {
+            m.poke(base + t * 64, t);
+        }
+        let mut a = ScriptedProgram::new(
+            (0..32u64)
+                .map(|i| Op::Load {
+                    pc: 1,
+                    addr: base + (i % 8) * 8 * 64 + 8 * (i / 8),
+                    pattern: PatternId(7),
+                })
+                .collect(),
+        );
+        let mut b = ScriptedProgram::new(
+            (0..32u64)
+                .map(|i| Op::Store {
+                    pc: 2,
+                    addr: base + (i * 136) % (64 * 64),
+                    pattern: PatternId(0),
+                    value: i,
+                })
+                .collect(),
+        );
+        let mut programs: Vec<&mut dyn Program> = vec![&mut a, &mut b];
+        let r = m.run(&mut programs, StopWhen::AllDone);
+        r.stats_node("run").to_json()
+    };
+
+    let collector = Collector::new();
+    let observed = run(Some(&collector));
+    let unobserved = run(None);
+    assert_eq!(observed, unobserved, "observation must not perturb the run");
+
+    // And the collector actually captured the DRAM side.
+    let t = collector.snapshot();
+    assert!(t.total_events() > 0);
+    let lat = t.read_latency(0).expect("channel 0 latency histogram");
+    assert!(lat.count() > 0, "reads must be recorded");
+    assert!(t.patterns().any(|(p, _)| p == 7), "pattern-7 stats present");
+    assert!(t.banks().next().is_some(), "per-bank stats present");
+}
+
+#[test]
+fn report_exposes_unconditional_dram_histograms() {
+    let mut m = small_machine(1);
+    let base = m.malloc(1 << 16);
+    let mut p = ScriptedProgram::new(
+        (0..64u64)
+            .map(|i| Op::Load {
+                pc: 1,
+                addr: base + (i * 4160) % (1 << 16),
+                pattern: PatternId(0),
+            })
+            .collect(),
+    );
+    let r = run_one(&mut m, &mut p);
+    // One histogram pair per channel, populated without any observer.
+    assert_eq!(r.dram_read_latency.len(), r.dram_queue_depth.len());
+    let reads: u64 = r.dram_read_latency.iter().map(|h| h.count()).sum();
+    assert_eq!(reads, r.dram.reads);
+    let lat_sum: u64 = r.dram_read_latency.iter().map(|h| h.sum()).sum();
+    assert_eq!(lat_sum, r.dram.total_read_latency);
+    // The stats tree carries them under dram_hist/.
+    use gsdram_core::stats::ReportStats;
+    let node = r.stats_node("run");
+    assert_eq!(
+        node.counter_at("dram_hist/read_latency_ch0/count"),
+        Some(r.dram_read_latency[0].count())
+    );
+    assert!(node.counter_at("dram_hist/queue_depth_ch0/count").is_some());
+}
