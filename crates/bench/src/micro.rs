@@ -5,6 +5,7 @@
 //! timing via [`std::time::Instant`], and a name filter from argv so
 //! `cargo bench --bench substrate -- shuffle` works as expected.
 
+// gsdram-lint: allow(D2) wall-clock ns/iter is this harness's deliverable, not simulation state
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -50,6 +51,7 @@ impl Runner {
         f(); // warm-up
         let mut iters: u64 = 1;
         loop {
+            // gsdram-lint: allow(D2) wall-clock ns/iter is this harness's deliverable, not simulation state
             let start = Instant::now();
             for _ in 0..iters {
                 f();

@@ -124,6 +124,26 @@ fn traced_experiment_figure_json_matches_untraced() {
     assert!(!events.is_empty());
 }
 
+/// The iteration-order pin: two identical invocations must emit
+/// byte-identical JSON. Each parallel run builds its tables afresh on
+/// fresh worker threads (fresh hasher seeds), so any hash-map
+/// iteration order leaking into output shows up as a byte diff here —
+/// the in-process counterpart of CI's two-process figure comparison.
+#[test]
+fn repeated_runs_are_byte_identical() {
+    let specs = small_specs();
+    let first = run_parallel(&specs, 3);
+    let second = run_parallel(&specs, 3);
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.stats().to_json(), b.stats().to_json(), "{}", a.spec.id);
+    }
+    let def = find("fig10").expect("registered");
+    let args = Args::new(["--tuples", "2048"]);
+    let (t1, _) = run_experiment_traced(def, &args, 2048);
+    let (t2, _) = run_experiment_traced(def, &args, 2048);
+    assert_eq!(t1.to_json_pretty(), t2.to_json_pretty());
+}
+
 /// Every value kind an experiment emits (counters, gauges, text,
 /// nested children) must survive serialise → parse → compare.
 #[test]

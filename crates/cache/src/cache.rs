@@ -8,7 +8,7 @@
 //! in [`crate::overlap`] and the system crate.
 
 use gsdram_core::stats::{ReportStats, StatsNode};
-use gsdram_core::PatternId;
+use gsdram_core::{cast, PatternId};
 
 /// Identity of a cached line: the line-aligned address plus the pattern
 /// ID it was gathered with (§4.1 "each cache line can be uniquely
@@ -105,6 +105,7 @@ impl ReportStats for CacheStats {
 
 impl CacheStats {
     /// Miss ratio over all lookups.
+    // gsdram-lint: allow-block(D5) report-only ratio; never feeds simulated timing
     pub fn miss_rate(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
@@ -189,7 +190,8 @@ impl SetAssocCache {
     }
 
     fn set_index(&self, key: LineKey) -> usize {
-        ((key.addr / self.cfg.line_bytes as u64) % self.sets.len() as u64) as usize
+        let line = key.addr / cast::widen(self.cfg.line_bytes);
+        cast::to_usize(line % cast::widen(self.sets.len()))
     }
 
     /// Looks up `key`; on a hit updates LRU (and the dirty bit if
@@ -287,6 +289,7 @@ impl SetAssocCache {
             .enumerate()
             .min_by_key(|(_, s)| s.lru)
             .map(|(i, _)| i)
+            // gsdram-lint: allow(D4) set.len() == assoc >= 1 on this path
             .expect("set is non-empty");
         let victim = std::mem::replace(&mut set[pos], new_slot);
         self.stats.evictions += 1;

@@ -16,11 +16,11 @@
 
 use crate::cache::LineKey;
 use gsdram_core::stats::{ReportStats, StatsNode};
-use gsdram_core::PatternId;
-use std::collections::HashMap;
+use gsdram_core::{cast, PatternId};
+use std::collections::BTreeMap;
 
 /// Identifies one DRAM row's worth of lines under one pattern.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 struct RowKey {
     row_base: u64,
     pattern: PatternId,
@@ -42,7 +42,7 @@ struct RowKey {
 pub struct DirtyBlockIndex {
     line_bytes: u64,
     cols_per_row: u64,
-    rows: HashMap<RowKey, u128>,
+    rows: BTreeMap<RowKey, u128>,
     stats: DbiStats,
 }
 
@@ -82,7 +82,7 @@ impl DirtyBlockIndex {
         DirtyBlockIndex {
             line_bytes,
             cols_per_row,
-            rows: HashMap::new(),
+            rows: BTreeMap::new(),
             stats: DbiStats::default(),
         }
     }
@@ -100,7 +100,7 @@ impl DirtyBlockIndex {
     fn split(&self, key: LineKey) -> (RowKey, u32) {
         let row_bytes = self.line_bytes * self.cols_per_row;
         let row_base = key.addr / row_bytes * row_bytes;
-        let col = ((key.addr - row_base) / self.line_bytes) as u32;
+        let col = cast::to_u32((key.addr - row_base) / self.line_bytes);
         (
             RowKey {
                 row_base,
@@ -156,10 +156,10 @@ impl DirtyBlockIndex {
         let Some(bits) = self.rows.get(&rk) else {
             return Vec::new();
         };
-        (0..self.cols_per_row as u32)
+        (0..cast::to_u32(self.cols_per_row))
             .filter(|c| bits & (1u128 << c) != 0)
             .map(|c| LineKey {
-                addr: rk.row_base + c as u64 * self.line_bytes,
+                addr: rk.row_base + u64::from(c) * self.line_bytes,
                 pattern,
             })
             .collect()

@@ -15,7 +15,8 @@
 
 use crate::cache::LineKey;
 use gsdram_core::{
-    column_containing, gathered_elements, gathered_elements_into, ColumnId, GsDramConfig, PatternId,
+    cast, column_containing, gathered_elements, gathered_elements_into, ColumnId, GsDramConfig,
+    PatternId,
 };
 
 /// Computes overlaps between pattern-tagged lines for a given module
@@ -49,15 +50,16 @@ impl OverlapCalc {
 
     fn split(&self, addr: u64) -> (u64, ColumnId) {
         let row_base = addr / self.row_bytes() * self.row_bytes();
-        let col = ((addr - row_base) / self.line_bytes) as u32;
+        let col = cast::to_u32((addr - row_base) / self.line_bytes);
         (row_base, ColumnId(col))
     }
 
     /// The physical byte address of logical row element `e` relative to
     /// `row_base`.
     fn element_addr(&self, row_base: u64, e: usize) -> u64 {
-        let chips = self.cfg.chips() as u64;
-        row_base + (e as u64 / chips) * self.line_bytes + (e as u64 % chips) * 8
+        let chips = cast::widen(self.cfg.chips());
+        let e = cast::widen(e);
+        row_base + (e / chips) * self.line_bytes + (e % chips) * 8
     }
 
     /// The byte addresses of the 8-byte words a line covers, in assembly
@@ -101,7 +103,7 @@ impl OverlapCalc {
             .map(|e| {
                 let c = column_containing(&self.cfg, other, e, shuffled);
                 LineKey {
-                    addr: row_base + c.0 as u64 * self.line_bytes,
+                    addr: row_base + u64::from(c.0) * self.line_bytes,
                     pattern: other,
                 }
             })

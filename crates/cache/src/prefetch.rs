@@ -6,6 +6,7 @@
 //! direct-mapped on the load PC, tracking the last address and stride
 //! with a small confidence counter.
 
+use gsdram_core::cast;
 use gsdram_core::stats::{ReportStats, StatsNode};
 
 /// One reference-prediction-table entry.
@@ -86,11 +87,11 @@ impl StridePrefetcher {
     /// of the current one.
     pub fn observe(&mut self, pc: u64, addr: u64) -> Vec<u64> {
         self.stats.observations += 1;
-        let idx = (pc as usize) & (self.table.len() - 1);
+        let idx = cast::to_usize(pc) & (self.table.len() - 1);
         let mut out = Vec::new();
         match &mut self.table[idx] {
             Some(e) if e.pc == pc => {
-                let stride = addr as i64 - e.last_addr as i64;
+                let stride = cast::signed(addr) - cast::signed(e.last_addr);
                 if stride == e.stride && stride != 0 {
                     e.confidence = e.confidence.saturating_add(1).min(4);
                 } else {
@@ -101,12 +102,13 @@ impl StridePrefetcher {
                 if e.confidence >= 2 {
                     let cur_line = addr / self.line_bytes;
                     let mut seen_last = cur_line;
-                    for d in 1..=self.degree as i64 {
-                        let target = addr as i64 + e.stride * d;
+                    let degree = cast::signed(cast::widen(self.degree));
+                    for d in 1..=degree {
+                        let target = cast::signed(addr) + e.stride * d;
                         if target < 0 {
                             break;
                         }
-                        let line = target as u64 / self.line_bytes;
+                        let line = cast::unsigned(target) / self.line_bytes;
                         if line != seen_last {
                             out.push(line * self.line_bytes);
                             seen_last = line;
@@ -123,7 +125,7 @@ impl StridePrefetcher {
                 });
             }
         }
-        self.stats.issued += out.len() as u64;
+        self.stats.issued += cast::widen(out.len());
         out
     }
 }

@@ -48,6 +48,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;
+pub mod cast;
 mod config;
 pub mod cost;
 pub mod ctl;

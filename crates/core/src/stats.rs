@@ -356,7 +356,7 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -366,7 +366,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut s = String::new();
         loop {
             let Some(b) = self.peek() else {
@@ -468,7 +468,7 @@ impl<'a> Parser<'a> {
 
     fn parse_node(&mut self) -> Result<StatsNode, JsonError> {
         self.skip_ws();
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut node = StatsNode::default();
         let mut first = true;
         loop {
@@ -478,18 +478,18 @@ impl<'a> Parser<'a> {
                 return Ok(node);
             }
             if !first {
-                self.expect(b',')?;
+                self.expect_byte(b',')?;
                 self.skip_ws();
             }
             first = false;
             let key = self.parse_string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             match key.as_str() {
                 "name" => node.name = self.parse_string()?,
                 "values" => {
-                    self.expect(b'{')?;
+                    self.expect_byte(b'{')?;
                     let mut vfirst = true;
                     loop {
                         self.skip_ws();
@@ -498,19 +498,19 @@ impl<'a> Parser<'a> {
                             break;
                         }
                         if !vfirst {
-                            self.expect(b',')?;
+                            self.expect_byte(b',')?;
                             self.skip_ws();
                         }
                         vfirst = false;
                         let k = self.parse_string()?;
                         self.skip_ws();
-                        self.expect(b':')?;
+                        self.expect_byte(b':')?;
                         let v = self.parse_value()?;
                         node.values.push((k, v));
                     }
                 }
                 "children" => {
-                    self.expect(b'[')?;
+                    self.expect_byte(b'[')?;
                     let mut cfirst = true;
                     loop {
                         self.skip_ws();
@@ -519,7 +519,7 @@ impl<'a> Parser<'a> {
                             break;
                         }
                         if !cfirst {
-                            self.expect(b',')?;
+                            self.expect_byte(b',')?;
                         }
                         cfirst = false;
                         node.children.push(self.parse_node()?);

@@ -1,7 +1,7 @@
 //! Physical address to DRAM-coordinate mapping.
 
 use crate::command::BankId;
-use gsdram_core::{ColumnId, RowId};
+use gsdram_core::{cast, ColumnId, RowId};
 
 /// Where a cache line lives in the DRAM hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -111,10 +111,10 @@ impl AddressMap {
                 let rank = (line / (self.cols_per_row * self.banks)) % self.ranks;
                 let row = line / (self.cols_per_row * self.banks * self.ranks);
                 DramLocation {
-                    rank: rank as usize,
-                    bank: bank as BankId,
-                    row: RowId(row as u32),
-                    col: ColumnId(col as u32),
+                    rank: cast::to_usize(rank),
+                    bank: cast::to_usize(bank),
+                    row: RowId(cast::to_u32(row)),
+                    col: ColumnId(cast::to_u32(col)),
                 }
             }
             Interleave::BankFirst => {
@@ -123,10 +123,10 @@ impl AddressMap {
                 let col = (line / (self.banks * self.ranks)) % self.cols_per_row;
                 let row = line / (self.banks * self.ranks * self.cols_per_row);
                 DramLocation {
-                    rank: rank as usize,
-                    bank: bank as BankId,
-                    row: RowId(row as u32),
-                    col: ColumnId(col as u32),
+                    rank: cast::to_usize(rank),
+                    bank: cast::to_usize(bank),
+                    row: RowId(cast::to_u32(row)),
+                    col: ColumnId(cast::to_u32(col)),
                 }
             }
         }
@@ -137,15 +137,16 @@ impl AddressMap {
     pub fn compose(&self, loc: DramLocation) -> u64 {
         let line = match self.interleave {
             Interleave::ColumnFirst => {
-                ((loc.row.0 as u64 * self.ranks + loc.rank as u64) * self.banks + loc.bank as u64)
+                ((u64::from(loc.row.0) * self.ranks + cast::widen(loc.rank)) * self.banks
+                    + cast::widen(loc.bank))
                     * self.cols_per_row
-                    + loc.col.0 as u64
+                    + u64::from(loc.col.0)
             }
             Interleave::BankFirst => {
-                ((loc.row.0 as u64 * self.cols_per_row + loc.col.0 as u64) * self.ranks
-                    + loc.rank as u64)
+                ((u64::from(loc.row.0) * self.cols_per_row + u64::from(loc.col.0)) * self.ranks
+                    + cast::widen(loc.rank))
                     * self.banks
-                    + loc.bank as u64
+                    + cast::widen(loc.bank)
             }
         };
         line * self.line_bytes

@@ -1,0 +1,484 @@
+//! A hand-rolled, dependency-free Rust lexer.
+//!
+//! The linter does not need a full parse — it needs to walk source
+//! *tokens* so that identifiers inside strings, comments, and doc
+//! examples are never mistaken for code. The contract (pinned by the
+//! round-trip property test in `tests/roundtrip.rs`) is:
+//!
+//! * `lex` never panics, on any input;
+//! * token spans are contiguous, in order, and cover the whole input
+//!   byte-for-byte (`src[t.start..t.end]` concatenated == `src`).
+//!
+//! Anything the lexer cannot classify becomes a one-char
+//! [`TokKind::Punct`] token, so unknown syntax degrades to "scanned but
+//! unclassified" rather than "skipped" — the scanner can't silently
+//! miss code.
+
+/// What a token is, as far as the rule engine cares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`foo`, `as`, `r#type`).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Integer or float literal, including suffix (`1_000u64`, `1.5e9`).
+    Number,
+    /// String literal of any flavour (`"x"`, `r#"x"#`, `b"x"`).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// `// ...` (incl. `///` and `//!` doc comments), newline excluded.
+    LineComment,
+    /// `/* ... */`, nesting handled, unterminated runs to EOF.
+    BlockComment,
+    /// A run of whitespace.
+    Whitespace,
+    /// A single punctuation/operator character.
+    Punct,
+}
+
+/// One lexed token: kind plus byte span and 1-based position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset past the last byte, exclusive.
+    pub end: usize,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// 1-based column (in chars) of the token's first byte.
+    pub col: u32,
+}
+
+/// Lexes `src` into a complete, span-covering token stream.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    /// Byte cursor, always on a char boundary.
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, nth: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(nth)
+    }
+
+    /// Advances one char, tracking line/col.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn emit(&mut self, kind: TokKind, start: usize, line: u32, col: u32) {
+        debug_assert!(self.pos > start, "token must consume input");
+        self.out.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek() {
+            let (start, line, col) = (self.pos, self.line, self.col);
+            let kind = self.scan_one(c);
+            self.emit(kind, start, line, col);
+        }
+        self.out
+    }
+
+    /// Consumes one token starting at `c` and returns its kind. Always
+    /// consumes at least one char.
+    fn scan_one(&mut self, c: char) -> TokKind {
+        if c.is_whitespace() {
+            while self.peek().is_some_and(char::is_whitespace) {
+                self.bump();
+            }
+            return TokKind::Whitespace;
+        }
+        if c == '/' {
+            match self.peek_at(1) {
+                Some('/') => return self.scan_line_comment(),
+                Some('*') => return self.scan_block_comment(),
+                _ => {
+                    self.bump();
+                    return TokKind::Punct;
+                }
+            }
+        }
+        if c == '"' {
+            return self.scan_string();
+        }
+        if c == '\'' {
+            return self.scan_quote();
+        }
+        if c.is_ascii_digit() {
+            return self.scan_number();
+        }
+        if is_ident_start(c) {
+            return self.scan_ident_or_prefixed(c);
+        }
+        self.bump();
+        TokKind::Punct
+    }
+
+    fn scan_line_comment(&mut self) -> TokKind {
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        TokKind::LineComment
+    }
+
+    fn scan_block_comment(&mut self) -> TokKind {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(), self.peek_at(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: run to EOF
+            }
+        }
+        TokKind::BlockComment
+    }
+
+    /// A `"..."` body with escapes; the opening quote is not yet
+    /// consumed. Unterminated strings run to EOF.
+    fn scan_string(&mut self) -> TokKind {
+        self.bump(); // '"'
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        TokKind::Str
+    }
+
+    /// Raw string body `r##"..."##` with `hashes` hashes; cursor sits
+    /// on the first `#` or `"`.
+    fn scan_raw_string(&mut self, hashes: usize) -> TokKind {
+        for _ in 0..hashes {
+            self.bump(); // '#'
+        }
+        self.bump(); // '"'
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek_at(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        TokKind::Str
+    }
+
+    /// A `'` token: lifetime, char literal, or (for broken input) a
+    /// lone quote punct.
+    fn scan_quote(&mut self) -> TokKind {
+        match (self.peek_at(1), self.peek_at(2)) {
+            // '\x7f', '\'', '\\' — escaped char literal.
+            (Some('\\'), _) => {
+                self.bump(); // '\''
+                self.bump(); // '\\'
+                self.bump(); // escape head
+                             // Consume to the closing quote (covers \u{...}).
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                TokKind::Char
+            }
+            // 'x' — one-char literal (covers '(' , '"' , etc.).
+            (Some(_), Some('\'')) => {
+                self.bump();
+                self.bump();
+                self.bump();
+                TokKind::Char
+            }
+            // 'ident — a lifetime.
+            (Some(c), _) if is_ident_start(c) => {
+                self.bump(); // '\''
+                while self.peek().is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                TokKind::Lifetime
+            }
+            _ => {
+                self.bump();
+                TokKind::Punct
+            }
+        }
+    }
+
+    /// A numeric literal: int, float, exponent, suffix. Never consumes
+    /// a `..` range operator.
+    fn scan_number(&mut self) -> TokKind {
+        let start = self.pos;
+        self.bump();
+        loop {
+            match self.peek() {
+                Some(c) if is_ident_continue(c) => {
+                    self.bump();
+                    // `1e-9` / `1E+9`: sign directly after exponent,
+                    // but not in hex literals (0xE is a digit).
+                    if (c == 'e' || c == 'E')
+                        && !self.src[start..self.pos].starts_with("0x")
+                        && matches!(self.peek(), Some('+' | '-'))
+                        && self.peek_at(1).is_some_and(|d| d.is_ascii_digit())
+                    {
+                        self.bump();
+                    }
+                }
+                Some('.') => {
+                    // A float dot only if followed by a digit (so `0..n`
+                    // and `1.max(2)` split correctly).
+                    if self.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        TokKind::Number
+    }
+
+    /// An identifier, or a string literal carrying an `r`/`b`/`br`
+    /// prefix, or a raw identifier `r#name`.
+    fn scan_ident_or_prefixed(&mut self, first: char) -> TokKind {
+        // String-literal prefixes are decided before consuming the
+        // ident, from the raw lookahead.
+        if matches!(first, 'r' | 'b') {
+            let rest = &self.src[self.pos..];
+            let prefix_len = if rest.starts_with("br") || rest.starts_with("rb") {
+                2
+            } else {
+                1
+            };
+            let after: String = rest.chars().skip(prefix_len).take(256).collect();
+            let hashes = after.chars().take_while(|&c| c == '#').count();
+            let is_raw_capable = first == 'r' || rest.starts_with("br");
+            if after.starts_with('"') && prefix_len == 1 && first == 'b' {
+                // b"..."
+                self.bump();
+                return self.scan_string();
+            }
+            if is_raw_capable && after.chars().nth(hashes) == Some('"') {
+                // r"..." / br"..." / r#"..."# / br##"..."##
+                for _ in 0..prefix_len {
+                    self.bump();
+                }
+                return if hashes == 0 {
+                    self.scan_string()
+                } else {
+                    self.scan_raw_string(hashes)
+                };
+            }
+            if first == 'r' && prefix_len == 1 && after.starts_with('#') {
+                // r#ident (raw identifier) — but only when an ident
+                // follows the hash; `r#"` was handled above.
+                if after.chars().nth(1).is_some_and(is_ident_start) {
+                    self.bump(); // r
+                    self.bump(); // #
+                    while self.peek().is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    return TokKind::Ident;
+                }
+            }
+            if prefix_len == 1 && first == 'b' && after.starts_with('\'') {
+                // b'x' byte literal.
+                self.bump(); // b
+                return self.scan_quote();
+            }
+        }
+        while self.peek().is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        TokKind::Ident
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokKind::Whitespace)
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    fn covers(src: &str) {
+        let toks = lex(src);
+        let mut pos = 0;
+        for t in &toks {
+            assert_eq!(t.start, pos, "gap before token {t:?} in {src:?}");
+            assert!(t.end > t.start);
+            pos = t.end;
+        }
+        assert_eq!(pos, src.len(), "trailing gap in {src:?}");
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        use TokKind::*;
+        assert_eq!(
+            kinds("let x = y.unwrap();"),
+            vec![Ident, Ident, Punct, Ident, Punct, Ident, Punct, Punct, Punct]
+        );
+        covers("let x = y.unwrap();");
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = lex(r#"let s = "HashMap::unwrap()";"#);
+        assert!(toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .all(|t| t.end - t.start < 4));
+        covers(r#"let s = "HashMap::unwrap()";"#);
+    }
+
+    #[test]
+    fn raw_strings_and_byte_strings() {
+        covers(r##"let s = r#"quote " inside"#;"##);
+        covers(r#"let b = b"bytes";"#);
+        covers("let r = r\"raw\";");
+        let toks = lex(r##"r#"x"#"##);
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].kind, TokKind::Str);
+    }
+
+    #[test]
+    fn raw_idents() {
+        let toks = lex("r#type");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].kind, TokKind::Ident);
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        use TokKind::*;
+        assert_eq!(kinds("'a'"), vec![Char]);
+        assert_eq!(kinds("'\\n'"), vec![Char]);
+        assert_eq!(kinds("&'a str"), vec![Punct, Lifetime, Ident]);
+        assert_eq!(kinds("'static"), vec![Lifetime]);
+        assert_eq!(kinds("b'x'"), vec![Char]);
+        covers("fn f<'a>(x: &'a u8) -> char { 'q' }");
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        use TokKind::*;
+        assert_eq!(kinds("0..10"), vec![Number, Punct, Punct, Number]);
+        assert_eq!(kinds("1.5e-3"), vec![Number]);
+        assert_eq!(kinds("1_000u64"), vec![Number]);
+        assert_eq!(kinds("0xEF"), vec![Number]);
+        assert_eq!(
+            kinds("1.max(2)"),
+            vec![Number, Punct, Ident, Punct, Number, Punct]
+        );
+        covers("let x = 1.5e-3 + 0x1F - 2.0f64;");
+    }
+
+    #[test]
+    fn comments_nest_and_terminate() {
+        use TokKind::*;
+        assert_eq!(kinds("// line\nx"), vec![LineComment, Ident]);
+        assert_eq!(kinds("/* a /* b */ c */ x"), vec![BlockComment, Ident]);
+        assert_eq!(kinds("/* open"), vec![BlockComment]);
+        covers("/// doc with `HashMap` example\nfn f() {}");
+    }
+
+    #[test]
+    fn line_col_tracking() {
+        let toks = lex("ab\n  cd");
+        let cd = toks.last().unwrap();
+        assert_eq!((cd.line, cd.col), (2, 3));
+    }
+
+    #[test]
+    fn hostile_inputs_do_not_panic() {
+        for src in [
+            "'",
+            "\"",
+            "r#",
+            "b",
+            "r#\"",
+            "/*",
+            "'\\",
+            "0.",
+            "'a",
+            "\u{1F600}'x'",
+        ] {
+            covers(src);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # gsdram-lint
+//!
+//! A dependency-free, workspace-wide determinism & invariant linter
+//! for the GS-DRAM reproduction.
+//!
+//! The repo's core guarantee — parallel sweeps and telemetry-attached
+//! runs stay byte-identical to serial, unobserved runs — is enforced
+//! after the fact by byte-compares in CI. This tool enforces it *at
+//! the source level*: a hand-rolled lexer ([`lexer`]) walks every
+//! `.rs` file in the workspace and a rule engine ([`rules`]) flags
+//! constructs that introduce nondeterminism sources or break the
+//! paper's invariants (§3.2–3.3: shuffle + CTL must be an exact
+//! bijection on column/chip addresses) before any config ever has to
+//! be diffed.
+//!
+//! Rules are named (`D1`..`D6`) and individually waivable with inline
+//! comments:
+//!
+//! ```text
+//! self.outstanding.get_mut(&parent).expect("registered at enqueue");
+//! // gsdram-lint: allow(D4) parent inserted by enqueue_fetch, removed only here
+//! ```
+//!
+//! so every exception stays greppable and justified. Waiver hygiene is
+//! itself enforced: reasons are mandatory (`W0`) and stale waivers are
+//! flagged (`W1`). See `docs/LINTS.md` for the full rule catalogue and
+//! rationale.
+
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+pub mod workspace;
+
+use std::io;
+use std::path::Path;
+
+pub use rules::{Report, RuleInfo, Violation, RULES};
+
+/// Loads the workspace at `root`, runs every rule, and returns the
+/// report.
+pub fn check_root(root: &Path) -> io::Result<Report> {
+    let ws = workspace::load(root)?;
+    Ok(rules::check_workspace(
+        &ws.files,
+        ws.arch_md.as_deref().map(|a| ("docs/ARCHITECTURE.md", a)),
+    ))
+}

@@ -1,0 +1,113 @@
+//! The `gsdram-lint` binary.
+//!
+//! ```text
+//! gsdram-lint --workspace [--deny] [--quiet]   # lint the enclosing workspace
+//! gsdram-lint <root> [--deny]                  # lint an explicit tree
+//! gsdram-lint --list-rules                     # print the rule catalogue
+//! ```
+//!
+//! Exit codes: `0` clean (or advisory mode), `1` violations found with
+//! `--deny`, `2` usage or I/O error.
+
+// Binary target: printing the report is the job.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use gsdram_lint::{check_root, workspace, RULES};
+
+struct Args {
+    root: Option<PathBuf>,
+    use_workspace: bool,
+    deny: bool,
+    quiet: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        use_workspace: false,
+        deny: false,
+        quiet: false,
+        list_rules: false,
+    };
+    for a in env::args().skip(1) {
+        match a.as_str() {
+            "--workspace" => args.use_workspace = true,
+            "--deny" => args.deny = true,
+            "--quiet" => args.quiet = true,
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: gsdram-lint [--workspace | <root>] [--deny] [--quiet] [--list-rules]"
+                        .to_string(),
+                )
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            path => {
+                if args.root.replace(PathBuf::from(path)).is_some() {
+                    return Err("at most one root path".to_string());
+                }
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list_rules {
+        for r in RULES {
+            println!("{:3}  {}", r.id, r.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let root = match args.root {
+        Some(r) => r,
+        None => {
+            let cwd = env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            if args.use_workspace {
+                match workspace::find_root(&cwd) {
+                    Some(r) => r,
+                    None => {
+                        eprintln!("no enclosing workspace found from {}", cwd.display());
+                        return ExitCode::from(2);
+                    }
+                }
+            } else {
+                cwd
+            }
+        }
+    };
+    let report = match check_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("scan failed under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for v in &report.violations {
+        println!("{}:{}:{}: {}: {}", v.rel, v.line, v.col, v.rule, v.msg);
+    }
+    if !args.quiet {
+        eprintln!(
+            "gsdram-lint: {} files, {} violation(s), {} waived",
+            report.files,
+            report.violations.len(),
+            report.waived
+        );
+    }
+    if args.deny && !report.violations.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,539 @@
+//! File model: a lexed source file plus everything the rules need to
+//! know about it — where it sits in the workspace, which byte ranges
+//! are test-only code, and which lines carry waivers.
+
+use std::cell::Cell;
+use std::path::PathBuf;
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// How a file participates in the build, derived from its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code under `crates/*/src/` (or the root facade `src/`).
+    Lib,
+    /// A binary target (`src/bin/*`, `src/main.rs`).
+    Bin,
+    /// Integration tests, benches, or examples.
+    Test,
+}
+
+/// Workspace placement of one file.
+#[derive(Debug, Clone)]
+pub struct FileClass {
+    /// Short crate name (`core`, `dram`, ... or `gsdram` for the root
+    /// facade); `None` for files outside any crate.
+    pub crate_name: Option<String>,
+    pub kind: FileKind,
+}
+
+/// The simulation crates: everything whose behaviour feeds figure
+/// output. Rules D1/D5 scope to these (plus `telemetry`, which folds
+/// the observer stream into report subtrees).
+pub const SIM_CRATES: &[&str] = &["core", "dram", "cache", "system", "workloads"];
+
+impl FileClass {
+    /// Classifies a workspace-relative path (unix separators).
+    pub fn of(rel: &str) -> FileClass {
+        let parts: Vec<&str> = rel.split('/').collect();
+        let (crate_name, rest): (Option<String>, &[&str]) = if parts.first() == Some(&"crates") {
+            (parts.get(1).map(|s| s.to_string()), &parts[2..])
+        } else {
+            // Root package (the `gsdram` facade crate).
+            (Some("gsdram".to_string()), &parts[..])
+        };
+        let kind = match rest.first() {
+            Some(&"src") => {
+                if rest.get(1) == Some(&"bin") || rest.last() == Some(&"main.rs") {
+                    FileKind::Bin
+                } else {
+                    FileKind::Lib
+                }
+            }
+            Some(&"tests") | Some(&"benches") | Some(&"examples") => FileKind::Test,
+            _ => FileKind::Test,
+        };
+        FileClass { crate_name, kind }
+    }
+
+    /// Whether this is non-test library code of a simulation crate
+    /// (optionally counting `telemetry` in).
+    pub fn is_sim_lib(&self, include_telemetry: bool) -> bool {
+        self.kind == FileKind::Lib
+            && self
+                .crate_name
+                .as_deref()
+                .is_some_and(|c| SIM_CRATES.contains(&c) || (include_telemetry && c == "telemetry"))
+    }
+}
+
+/// One inline waiver comment, in one of two forms:
+///
+/// ```text
+/// // gsdram-lint: allow(D4) reason text
+/// // gsdram-lint: allow-block(D5) reason text
+/// ```
+///
+/// The line form suppresses the named rules on its own line and on the
+/// line directly below it (so it can trail the offending statement or
+/// sit on its own line above it). The block form suppresses them from
+/// the comment through the end of the next brace block — for report
+/// helpers that are float leaves top to bottom, one justification
+/// instead of one per line. Every waiver must carry a reason, and
+/// every waiver must be *used* — both are enforced as rules (`W0`,
+/// `W1`), so exceptions stay greppable, justified, and alive.
+#[derive(Debug)]
+pub struct Waiver {
+    /// Rule ids named in `allow(...)`, e.g. `["D4"]`.
+    pub rules: Vec<String>,
+    /// Free-text justification after the closing paren.
+    pub reason: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// For `allow-block`: the last line covered (the block's closing
+    /// brace), resolved after lexing.
+    pub end_line: Option<u32>,
+    /// Set when any rule consults and honours this waiver.
+    pub used: Cell<bool>,
+}
+
+/// The marker every line waiver comment must contain.
+pub const WAIVER_MARKER: &str = "gsdram-lint: allow(";
+/// The marker of the block-scoped waiver form.
+pub const BLOCK_WAIVER_MARKER: &str = "gsdram-lint: allow-block(";
+
+/// Parses a waiver out of one comment body, if a marker is present.
+/// Returns `(waiver, malformed)`: `malformed` is set when a marker
+/// appears but the syntax around it is broken (unclosed paren or no
+/// rule list) — the scanner reports those instead of silently ignoring
+/// a waiver the author believed was active. Block waivers come back
+/// with `end_line: Some(line)` as a placeholder; the caller resolves
+/// the real block end.
+fn parse_waiver(text: &str, line: u32) -> (Option<Waiver>, bool) {
+    let (at, marker) = match text.find(BLOCK_WAIVER_MARKER) {
+        Some(at) => (at, BLOCK_WAIVER_MARKER),
+        None => match text.find(WAIVER_MARKER) {
+            Some(at) => (at, WAIVER_MARKER),
+            None => return (None, false),
+        },
+    };
+    let after = &text[at + marker.len()..];
+    let Some(close) = after.find(')') else {
+        return (None, true);
+    };
+    let rules: Vec<String> = after[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return (None, true);
+    }
+    let reason = after[close + 1..]
+        .trim()
+        .trim_end_matches("*/")
+        .trim()
+        .to_string();
+    (
+        Some(Waiver {
+            rules,
+            reason,
+            line,
+            end_line: (marker == BLOCK_WAIVER_MARKER).then_some(line),
+            used: Cell::new(false),
+        }),
+        false,
+    )
+}
+
+/// A lexed workspace source file, ready for rule checks.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Absolute (or scan-root-relative) on-disk path.
+    pub path: PathBuf,
+    /// Workspace-relative path with unix separators; what rules match
+    /// on and what reports print.
+    pub rel: String,
+    pub class: FileClass,
+    pub src: String,
+    pub tokens: Vec<Token>,
+    /// Byte ranges of `#[cfg(test)] mod ... { ... }` bodies.
+    pub test_regions: Vec<(usize, usize)>,
+    pub waivers: Vec<Waiver>,
+    /// Lines whose waiver marker was present but unparseable.
+    pub malformed_waivers: Vec<u32>,
+}
+
+impl SourceFile {
+    /// Lexes and indexes one file's contents.
+    ///
+    /// Waivers are only collected from *plain* comments (`//`, `/* */`)
+    /// outside `#[cfg(test)]` modules: doc comments may quote the
+    /// waiver syntax when documenting it, and test code is outside
+    /// every rule's scope, so neither can introduce a live waiver.
+    pub fn parse(path: PathBuf, rel: String, src: String) -> SourceFile {
+        let tokens = lex(&src);
+        let class = FileClass::of(&rel);
+        let test_regions = find_test_regions(&src, &tokens);
+        let in_test = |pos: usize| test_regions.iter().any(|&(s, e)| pos >= s && pos < e);
+        let mut waivers = Vec::new();
+        let mut malformed_waivers = Vec::new();
+        for t in &tokens {
+            if !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+                continue;
+            }
+            let text = &src[t.start..t.end];
+            let is_doc = text.starts_with("///")
+                || text.starts_with("//!")
+                || text.starts_with("/**")
+                || text.starts_with("/*!");
+            if is_doc || in_test(t.start) {
+                continue;
+            }
+            let (w, malformed) = parse_waiver(text, t.line);
+            if let Some(mut w) = w {
+                if w.end_line.is_some() {
+                    w.end_line = Some(resolve_block_end(&src, &tokens, w.line));
+                }
+                waivers.push(w);
+            }
+            if malformed {
+                malformed_waivers.push(t.line);
+            }
+        }
+        SourceFile {
+            path,
+            rel,
+            class,
+            src,
+            tokens,
+            test_regions,
+            waivers,
+            malformed_waivers,
+        }
+    }
+
+    /// Text of a token.
+    pub fn text(&self, t: &Token) -> &str {
+        &self.src[t.start..t.end]
+    }
+
+    /// Whether byte offset `pos` falls inside a `#[cfg(test)]` module.
+    pub fn in_test_region(&self, pos: usize) -> bool {
+        self.test_regions.iter().any(|&(s, e)| pos >= s && pos < e)
+    }
+
+    /// Looks up a waiver for `rule` covering `line`, marking it used.
+    /// Reasonless waivers never suppress — rule W0 reports them
+    /// instead, so an unjustified exception cannot hide a violation.
+    pub fn waived(&self, rule: &str, line: u32) -> bool {
+        for w in &self.waivers {
+            if w.reason.is_empty() {
+                continue;
+            }
+            let covers = match w.end_line {
+                // Block waiver: from the comment to the block's close.
+                Some(end) => line >= w.line && line <= end,
+                // Line waiver: its own line and the line below.
+                None => w.line == line || w.line + 1 == line,
+            };
+            if covers && w.rules.iter().any(|r| r == rule) {
+                w.used.set(true);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Indices of non-trivia tokens (skipping whitespace and comments),
+    /// the stream code rules walk.
+    pub fn code_tokens(&self) -> Vec<usize> {
+        self.tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                !matches!(
+                    t.kind,
+                    TokKind::Whitespace | TokKind::LineComment | TokKind::BlockComment
+                )
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Resolves the line of the `}` closing the first brace block opened
+/// at or after `from_line` — the coverage end of an `allow-block`
+/// waiver. Falls back to the last line of the file when no block
+/// opens (a trailing comment) or the block never closes (mid-edit
+/// source); a too-wide stale waiver is caught by W1, the unused-waiver
+/// rule, rather than by guessing here.
+fn resolve_block_end(src: &str, tokens: &[Token], from_line: u32) -> u32 {
+    let last_line = tokens.last().map_or(from_line, |t| t.line);
+    let code = tokens.iter().filter(|t| {
+        !matches!(
+            t.kind,
+            TokKind::Whitespace | TokKind::LineComment | TokKind::BlockComment
+        )
+    });
+    let mut depth = 0i32;
+    let mut opened = false;
+    for t in code {
+        if t.line < from_line {
+            continue;
+        }
+        match &src[t.start..t.end] {
+            "{" => {
+                depth += 1;
+                opened = true;
+            }
+            "}" => {
+                depth -= 1;
+                if opened && depth == 0 {
+                    return t.line;
+                }
+                // A `}` before any `{` means the waiver sits at the
+                // tail of an enclosing block; keep scanning balanced.
+                if !opened {
+                    depth = 0;
+                }
+            }
+            _ => {}
+        }
+    }
+    last_line
+}
+
+/// Finds the byte ranges of `#[cfg(test)] mod name { ... }` bodies by
+/// walking the code token stream: an attribute containing `cfg` and
+/// `test`, followed (possibly after further attributes) by `mod`, then
+/// the brace-matched block.
+fn find_test_regions(src: &str, tokens: &[Token]) -> Vec<(usize, usize)> {
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| {
+            !matches!(
+                t.kind,
+                TokKind::Whitespace | TokKind::LineComment | TokKind::BlockComment
+            )
+        })
+        .collect();
+    let text = |t: &Token| &src[t.start..t.end];
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        // `#` `[` ... `]` attribute?
+        if !(text(code[i]) == "#" && i + 1 < code.len() && text(code[i + 1]) == "[") {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute body to its closing bracket.
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let mut saw_cfg = false;
+        let mut saw_test = false;
+        while j < code.len() {
+            match text(code[j]) {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "cfg" => saw_cfg = true,
+                "test" => saw_test = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !(saw_cfg && saw_test) {
+            i = j + 1;
+            continue;
+        }
+        // Skip any further attributes, then expect `mod name {`.
+        let mut k = j + 1;
+        while k + 1 < code.len() && text(code[k]) == "#" && text(code[k + 1]) == "[" {
+            let mut d = 0i32;
+            k += 1;
+            while k < code.len() {
+                match text(code[k]) {
+                    "[" => d += 1,
+                    "]" => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        if k < code.len() && text(code[k]) == "mod" {
+            // Find the opening brace, then match it.
+            let mut b = k;
+            while b < code.len() && text(code[b]) != "{" {
+                b += 1;
+            }
+            if b < code.len() {
+                let start = code[b].start;
+                let mut braces = 0i32;
+                let mut e = b;
+                while e < code.len() {
+                    match text(code[e]) {
+                        "{" => braces += 1,
+                        "}" => {
+                            braces -= 1;
+                            if braces == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    e += 1;
+                }
+                let end = if e < code.len() {
+                    code[e].end
+                } else {
+                    src.len()
+                };
+                regions.push((start, end));
+                i = e + 1;
+                continue;
+            }
+        }
+        i = j + 1;
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(rel: &str, src: &str) -> SourceFile {
+        SourceFile::parse(PathBuf::from(rel), rel.to_string(), src.to_string())
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(FileClass::of("crates/core/src/rng.rs").kind, FileKind::Lib);
+        assert_eq!(
+            FileClass::of("crates/core/src/rng.rs")
+                .crate_name
+                .as_deref(),
+            Some("core")
+        );
+        assert_eq!(FileClass::of("crates/cli/src/main.rs").kind, FileKind::Bin);
+        assert_eq!(
+            FileClass::of("crates/telemetry/src/bin/trace_check.rs").kind,
+            FileKind::Bin
+        );
+        assert_eq!(FileClass::of("crates/dram/tests/t.rs").kind, FileKind::Test);
+        assert_eq!(
+            FileClass::of("crates/bench/benches/b.rs").kind,
+            FileKind::Test
+        );
+        assert_eq!(
+            FileClass::of("src/lib.rs").crate_name.as_deref(),
+            Some("gsdram")
+        );
+        assert_eq!(FileClass::of("src/lib.rs").kind, FileKind::Lib);
+        assert_eq!(FileClass::of("tests/e2e.rs").kind, FileKind::Test);
+        assert!(FileClass::of("crates/cache/src/dbi.rs").is_sim_lib(false));
+        assert!(!FileClass::of("crates/telemetry/src/lib.rs").is_sim_lib(false));
+        assert!(FileClass::of("crates/telemetry/src/lib.rs").is_sim_lib(true));
+    }
+
+    #[test]
+    fn test_region_detection() {
+        let f = file(
+            "crates/core/src/x.rs",
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn tail() {}\n",
+        );
+        assert_eq!(f.test_regions.len(), 1);
+        let unwrap_pos = f.src.find("unwrap").unwrap();
+        assert!(f.in_test_region(unwrap_pos));
+        assert!(!f.in_test_region(f.src.find("lib").unwrap()));
+        assert!(!f.in_test_region(f.src.find("tail").unwrap()));
+    }
+
+    #[test]
+    fn test_region_with_extra_attrs_and_nesting() {
+        let f = file(
+            "crates/core/src/x.rs",
+            "#[cfg(test)]\n#[allow(dead_code)]\nmod tests {\n mod inner { fn f() { let a = { 1 }; } }\n}\nfn after() {}\n",
+        );
+        assert_eq!(f.test_regions.len(), 1);
+        assert!(!f.in_test_region(f.src.find("after").unwrap()));
+        assert!(f.in_test_region(f.src.find("inner").unwrap()));
+    }
+
+    #[test]
+    fn cfg_not_test_is_ignored() {
+        let f = file(
+            "crates/core/src/x.rs",
+            "#[cfg(feature = \"x\")]\nmod gated { fn f() {} }\n",
+        );
+        assert!(f.test_regions.is_empty());
+    }
+
+    #[test]
+    fn waiver_parsing() {
+        let f = file(
+            "crates/core/src/x.rs",
+            "// gsdram-lint: allow(D4) map key inserted two lines up\nlet x = m.get(&k).unwrap();\n",
+        );
+        assert_eq!(f.waivers.len(), 1);
+        assert_eq!(f.waivers[0].rules, vec!["D4".to_string()]);
+        assert_eq!(f.waivers[0].reason, "map key inserted two lines up");
+        assert!(f.waived("D4", 2), "covers the following line");
+        assert!(f.waived("D4", 1), "covers its own line");
+        assert!(!f.waived("D4", 3));
+        assert!(!f.waived("D1", 2));
+        assert!(f.waivers[0].used.get());
+    }
+
+    #[test]
+    fn block_waiver_covers_next_brace_block() {
+        let f = file(
+            "crates/core/src/x.rs",
+            concat!(
+                "// gsdram-lint: allow-block(D5) report-only ratio\n", // 1
+                "pub fn miss_rate(&self) -> f64 {\n",                  // 2
+                "    let r = self.m as f64 / self.t as f64;\n",        // 3
+                "    r\n",                                             // 4
+                "}\n",                                                 // 5
+                "fn after() -> f64 { 0.0 }\n",                         // 6
+            ),
+        );
+        assert_eq!(f.waivers.len(), 1);
+        assert_eq!(f.waivers[0].end_line, Some(5));
+        assert!(f.waived("D5", 2));
+        assert!(f.waived("D5", 5));
+        assert!(!f.waived("D5", 6), "stops at the closing brace");
+        assert!(!f.waived("D4", 3), "only the named rules");
+    }
+
+    #[test]
+    fn waiver_multi_rule_and_malformed() {
+        let f = file(
+            "crates/core/src/x.rs",
+            "// gsdram-lint: allow(D1, D5) reporting ratio over a BTreeMap\n// gsdram-lint: allow(D4 missing close paren\n",
+        );
+        assert_eq!(f.waivers.len(), 1);
+        assert_eq!(f.waivers[0].rules, vec!["D1".to_string(), "D5".to_string()]);
+        assert_eq!(f.malformed_waivers, vec![2]);
+    }
+
+    #[test]
+    fn waivers_in_strings_are_not_waivers() {
+        let f = file(
+            "crates/core/src/x.rs",
+            "let s = \"gsdram-lint: allow(D4) nope\";\n",
+        );
+        assert!(f.waivers.is_empty());
+    }
+}

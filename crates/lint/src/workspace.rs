@@ -1,0 +1,93 @@
+//! Workspace discovery: find the root, walk the source tree, load and
+//! lex every `.rs` file plus the architecture doc D6 cross-checks.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::scan::SourceFile;
+
+/// Directories never descended into: build output, VCS metadata, and
+/// the linter's own rule fixtures (which contain violations *by
+/// design* — the fixture tests scan them with explicit roots).
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", "results", "node_modules"];
+
+/// Source roots scanned under the workspace root.
+const SCAN_ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
+
+/// A loaded workspace: lexed sources plus the architecture doc.
+#[derive(Debug)]
+pub struct Workspace {
+    pub root: PathBuf,
+    pub files: Vec<SourceFile>,
+    /// `docs/ARCHITECTURE.md` contents, when present.
+    pub arch_md: Option<String>,
+}
+
+/// Walks up from `start` to the nearest directory whose `Cargo.toml`
+/// declares a `[workspace]`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Loads every workspace `.rs` file (sorted by relative path, so
+/// reports and fixture assertions are stable) and the architecture
+/// doc.
+pub fn load(root: &Path) -> io::Result<Workspace> {
+    let mut paths = Vec::new();
+    for sub in SCAN_ROOTS {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut paths)?;
+        }
+    }
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for p in paths {
+        let rel = relpath(root, &p);
+        let src = fs::read_to_string(&p)?;
+        files.push(SourceFile::parse(p, rel, src));
+    }
+    let arch_md = fs::read_to_string(root.join("docs/ARCHITECTURE.md")).ok();
+    Ok(Workspace {
+        root: root.to_path_buf(),
+        files,
+        arch_md,
+    })
+}
+
+/// Root-relative path with unix separators.
+fn relpath(root: &Path, p: &Path) -> String {
+    let rel = p.strip_prefix(root).unwrap_or(p);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect_rs(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,99 @@
+//! Fixture-tree tests: every rule has an on-disk mini-workspace that
+//! trips it, and a twin where an inline waiver (with a reason)
+//! silences it. These pin the end-to-end path — directory walk, file
+//! classification, lexing, rule, waiver — not just the rule functions.
+
+use std::path::PathBuf;
+
+use gsdram_lint::check_root;
+use gsdram_lint::Report;
+
+fn check(rel: &str) -> Report {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rel);
+    check_root(&root).expect("fixture tree loads")
+}
+
+fn rules(r: &Report) -> Vec<&'static str> {
+    r.violations.iter().map(|v| v.rule).collect()
+}
+
+#[test]
+fn d1_hash_container() {
+    let r = check("D1/violation");
+    assert_eq!(rules(&r), ["D1"], "{:?}", r.violations);
+    let r = check("D1/waived");
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+    assert_eq!(r.waived, 1);
+}
+
+#[test]
+fn d2_ambient_nondeterminism() {
+    let r = check("D2/violation");
+    // `std::time` + `Instant` in both the signature and the body.
+    assert_eq!(rules(&r), ["D2", "D2", "D2", "D2"], "{:?}", r.violations);
+    let r = check("D2/waived");
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+    assert_eq!(r.waived, 4);
+}
+
+#[test]
+fn d3_bare_cast() {
+    let r = check("D3/violation");
+    assert_eq!(rules(&r), ["D3"], "{:?}", r.violations);
+    assert!(r.violations[0].rel.ends_with("dram/src/mapping.rs"));
+    let r = check("D3/waived");
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+    assert_eq!(r.waived, 1);
+}
+
+#[test]
+fn d4_panic_path() {
+    let r = check("D4/violation");
+    assert_eq!(rules(&r), ["D4"], "{:?}", r.violations);
+    let r = check("D4/waived");
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+    assert_eq!(r.waived, 1);
+}
+
+#[test]
+fn d5_float_outside_leaves() {
+    let r = check("D5/violation");
+    // Return type plus two cast targets.
+    assert_eq!(rules(&r), ["D5", "D5", "D5"], "{:?}", r.violations);
+    let r = check("D5/waived");
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+    assert_eq!(r.waived, 3, "the block waiver covers the whole helper");
+}
+
+#[test]
+fn d6_event_coverage() {
+    let r = check("D6/violation");
+    // `DramEnqueue` missing from the collector and the event table.
+    assert_eq!(rules(&r), ["D6", "D6"], "{:?}", r.violations);
+    assert!(r
+        .violations
+        .iter()
+        .all(|v| v.msg.contains("DramEnqueue") && v.rel.ends_with("core/src/port.rs")));
+    let r = check("D6/waived");
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+    assert_eq!(r.waived, 2);
+}
+
+#[test]
+fn w0_waiver_hygiene() {
+    let r = check("W0/violation");
+    // The reasonless waiver is reported AND fails to suppress its D4;
+    // the malformed waiver is a second W0.
+    let mut got = rules(&r);
+    got.sort_unstable();
+    assert_eq!(got, ["D4", "W0", "W0"], "{:?}", r.violations);
+    assert_eq!(r.waived, 0);
+}
+
+#[test]
+fn w1_stale_waiver() {
+    let r = check("W1/violation");
+    assert_eq!(rules(&r), ["W1"], "{:?}", r.violations);
+}

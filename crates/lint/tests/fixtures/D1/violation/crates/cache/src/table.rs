@@ -1,0 +1,5 @@
+//! D1 fixture: a hash container in simulation-crate library code.
+
+pub struct Table {
+    rows: std::collections::HashMap<u64, u64>,
+}

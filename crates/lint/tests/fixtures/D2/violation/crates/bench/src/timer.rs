@@ -1,0 +1,5 @@
+//! D2 fixture: wall-clock time in non-test code.
+
+pub fn now() -> std::time::Instant {
+    std::time::Instant::now()
+}

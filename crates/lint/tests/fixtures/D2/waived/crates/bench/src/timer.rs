@@ -1,0 +1,7 @@
+//! D2 fixture: the same wall-clock use, waived as harness plumbing.
+
+// gsdram-lint: allow(D2) wall-clock is this harness's deliverable
+pub fn now() -> std::time::Instant {
+    // gsdram-lint: allow(D2) wall-clock is this harness's deliverable
+    std::time::Instant::now()
+}

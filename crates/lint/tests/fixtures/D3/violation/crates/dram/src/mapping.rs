@@ -1,0 +1,5 @@
+//! D3 fixture: a bare truncating cast in an address-translation file.
+
+pub fn row_of(line: u64) -> u32 {
+    line as u32
+}

@@ -1,0 +1,5 @@
+//! D4 fixture: a panic path in library code.
+
+pub fn head(xs: &[u64]) -> u64 {
+    xs.first().copied().unwrap()
+}

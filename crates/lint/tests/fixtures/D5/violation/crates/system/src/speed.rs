@@ -1,0 +1,5 @@
+//! D5 fixture: float arithmetic in simulation-crate library code.
+
+pub fn ratio(a: u64, b: u64) -> f64 {
+    a as f64 / b as f64
+}

@@ -1,0 +1,6 @@
+//! D5 fixture: the same float helper, block-waived as a report leaf.
+
+// gsdram-lint: allow-block(D5) report-only ratio; never feeds simulated timing
+pub fn ratio(a: u64, b: u64) -> f64 {
+    a as f64 / b as f64
+}

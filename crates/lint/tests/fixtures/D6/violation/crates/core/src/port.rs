@@ -1,0 +1,7 @@
+//! D6 fixture: `DramEnqueue` is missing from the collector and the
+//! architecture event table.
+
+pub enum SimEvent {
+    CacheFill { addr: u64 },
+    DramEnqueue { id: u64 },
+}

@@ -1,0 +1,8 @@
+//! D6 fixture collector: folds only `CacheFill`.
+
+pub fn fold(ev: &SimEvent) {
+    match ev {
+        SimEvent::CacheFill { .. } => {}
+        _ => {}
+    }
+}

@@ -1,0 +1,7 @@
+//! D6 fixture: the uncovered variant carries a waiver naming why.
+
+pub enum SimEvent {
+    CacheFill { addr: u64 },
+    // gsdram-lint: allow(D6) staged variant; collector arm lands with the emitter
+    DramEnqueue { id: u64 },
+}

@@ -1,0 +1,10 @@
+//! W0 fixture: a reasonless waiver (which must not suppress) and a
+//! malformed one.
+
+pub fn head(xs: &[u64]) -> u64 {
+    // gsdram-lint: allow(D4)
+    xs.first().copied().unwrap()
+}
+
+// gsdram-lint: allow(D4 missing close paren
+pub fn noop() {}

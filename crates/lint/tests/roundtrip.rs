@@ -1,0 +1,123 @@
+//! Lexer round-trip properties.
+//!
+//! The rule engine trusts two lexer invariants: token spans tile the
+//! input exactly (no gaps, no overlap, full coverage), and lexing
+//! never panics. The first test checks both over every real source
+//! file in this workspace — the corpus the linter actually runs on —
+//! and the second over seeded pseudo-random hostile inputs, so the
+//! property holds beyond today's code.
+
+use std::path::Path;
+
+use gsdram_lint::lexer::lex;
+use gsdram_lint::workspace;
+
+/// Spans must be ordered, contiguous, and cover the whole input; the
+/// concatenated span texts must rebuild the file byte-for-byte.
+fn assert_round_trips(name: &str, src: &str) {
+    let tokens = lex(src);
+    let mut rebuilt = String::with_capacity(src.len());
+    let mut at = 0usize;
+    for t in &tokens {
+        assert_eq!(t.start, at, "{name}: gap or overlap before offset {at}");
+        assert!(t.end > t.start, "{name}: empty token at {at}");
+        rebuilt.push_str(&src[t.start..t.end]);
+        at = t.end;
+    }
+    assert_eq!(at, src.len(), "{name}: trailing bytes not tokenised");
+    assert_eq!(rebuilt, src, "{name}: concatenated spans differ");
+}
+
+#[test]
+fn every_workspace_source_round_trips() {
+    let root = workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("test runs inside the workspace");
+    let ws = workspace::load(&root).expect("workspace loads");
+    assert!(
+        ws.files.len() > 50,
+        "workspace walk found only {} files",
+        ws.files.len()
+    );
+    for f in &ws.files {
+        assert_round_trips(&f.rel, &f.src);
+    }
+}
+
+/// SplitMix64 (Steele et al.) — inlined so the linter crate stays
+/// dependency-free even in tests.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+#[test]
+fn hostile_inputs_round_trip_without_panicking() {
+    // Fragments chosen to stress the tricky lexer states: raw strings,
+    // raw identifiers, char-vs-lifetime, nested comments, exponents,
+    // unterminated constructs.
+    const PIECES: &[&str] = &[
+        "r#\"raw \" body\"#",
+        "r##\"deeper\"##",
+        "b\"bytes\\\"\"",
+        "br#\"raw bytes\"#",
+        "r#type",
+        "'a",
+        "'x'",
+        "'\\n'",
+        "/* outer /* nested */ still */",
+        "// line comment",
+        "/// doc",
+        "1e-9",
+        "1_000e+3",
+        "0xEF",
+        "7usize",
+        "1.5f64",
+        "0..8",
+        "ident",
+        "\"str with // not a comment\"",
+        "\u{3b1}\u{3b2}", // non-ASCII identifiers
+        "{",
+        "}",
+        "..=",
+        "::",
+        "#[cfg(test)]",
+        "\n",
+        " ",
+        "\t",
+        "\"unterminated",
+        "/* unterminated",
+        "r#\"unterminated raw",
+    ];
+    let mut rng = SplitMix(0x6507_DA44);
+    for case in 0..512 {
+        let n = rng.below(40) + 1;
+        let mut src = String::new();
+        for _ in 0..n {
+            src.push_str(PIECES[rng.below(PIECES.len() as u64) as usize]);
+            if rng.below(3) == 0 {
+                src.push(' ');
+            }
+        }
+        assert_round_trips(&format!("fuzz case {case}"), &src);
+    }
+}
+
+#[test]
+fn pathological_small_inputs_round_trip() {
+    for src in [
+        "", "'", "\"", "r", "r#", "b'", "0", ".", "\\", "\u{0}", "🦀",
+    ] {
+        assert_round_trips("small input", src);
+    }
+}

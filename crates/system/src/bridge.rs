@@ -20,12 +20,12 @@
 //! per-bridge scratch buffers, so steady-state fetch/writeback traffic
 //! does not allocate.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use gsdram_cache::cache::LineKey;
 use gsdram_cache::overlap::OverlapCalc;
 use gsdram_core::port::{EventHub, MemReq, SimEvent};
-use gsdram_core::{ColumnId, Geometry, GsModule, PatternId, RowId};
+use gsdram_core::{cast, ColumnId, Geometry, GsModule, PatternId, RowId};
 use gsdram_dram::controller::{
     AccessKind, Completion, ControllerStats, MemController, MemRequest, ReqId,
 };
@@ -89,10 +89,10 @@ pub struct DramBridge {
     gather: GatherSupport,
     chips: usize,
     cpu_per_mem: u64,
-    outstanding: HashMap<ReqId, Outstanding>,
-    by_key: HashMap<LineKey, ReqId>,
+    outstanding: BTreeMap<ReqId, Outstanding>,
+    by_key: BTreeMap<LineKey, ReqId>,
     /// Maps each DRAM sub-request to its logical fetch.
-    parent_of: HashMap<ReqId, ReqId>,
+    parent_of: BTreeMap<ReqId, ReqId>,
     next_req: ReqId,
     /// Word-address scratch for functional line reads/writes.
     addr_buf: Vec<u64>,
@@ -102,15 +102,16 @@ pub struct DramBridge {
 
 impl DramBridge {
     pub(crate) fn new(cfg: &SystemConfig) -> Self {
-        let rows = cfg.memory_bytes / cfg.row_bytes() as usize;
+        let rows = cfg.memory_bytes / cast::to_usize(cfg.row_bytes());
+        // gsdram-lint: allow(D4) rows.max(1) keeps the geometry constructor total
         let geom = Geometry::ddr3_row(&cfg.gsdram, rows.max(1)).expect("valid geometry");
         DramBridge {
             module: GsModule::new(cfg.gsdram.clone(), geom),
             map: AddressMap::with_ranks(
-                cfg.l2.line_bytes as u64,
+                cast::widen(cfg.l2.line_bytes),
                 128,
-                cfg.controller.banks as u64,
-                cfg.controller.ranks as u64,
+                cast::widen(cfg.controller.banks),
+                cast::widen(cfg.controller.ranks),
                 gsdram_dram::mapping::Interleave::ColumnFirst,
             ),
             controllers: (0..cfg.channels.max(1))
@@ -120,13 +121,13 @@ impl DramBridge {
                     c
                 })
                 .collect(),
-            overlap: OverlapCalc::new(cfg.gsdram.clone(), cfg.l2.line_bytes as u64, 128),
+            overlap: OverlapCalc::new(cfg.gsdram.clone(), cast::widen(cfg.l2.line_bytes), 128),
             gather: cfg.gather,
             chips: cfg.gsdram.chips(),
             cpu_per_mem: cfg.cpu_per_mem,
-            outstanding: HashMap::new(),
-            by_key: HashMap::new(),
-            parent_of: HashMap::new(),
+            outstanding: BTreeMap::new(),
+            by_key: BTreeMap::new(),
+            parent_of: BTreeMap::new(),
             next_req: 0,
             addr_buf: Vec::new(),
             sub_buf: Vec::new(),
@@ -150,22 +151,22 @@ impl DramBridge {
     /// row-offset bits, so one DRAM row — and hence every gathered
     /// line — stays on one channel).
     fn channel_of(&self, addr: u64) -> (usize, u64) {
-        let channels = self.controllers.len() as u64;
+        let channels = cast::widen(self.controllers.len());
         let rb = self.overlap.row_bytes();
         let row = addr / rb;
-        let channel = (row % channels) as usize;
+        let channel = cast::to_usize(row % channels);
         let local = (row / channels) * rb + addr % rb;
         (channel, local)
     }
 
     fn row_col(&self, addr: u64) -> (RowId, ColumnId, usize) {
         let rb = self.overlap.row_bytes();
-        let row = (addr / rb) as u32;
+        let row = cast::to_u32(addr / rb);
         let off = addr % rb;
         (
             RowId(row),
-            ColumnId((off / 64) as u32),
-            ((off % 64) / 8) as usize,
+            ColumnId(cast::to_u32(off / 64)),
+            cast::to_usize((off % 64) / 8),
         )
     }
 
@@ -180,9 +181,10 @@ impl DramBridge {
     pub(crate) fn poke(&mut self, pages: &PageTable, addr: u64, value: u64) {
         let shuffled = pages.info(addr).shuffle;
         let (row, col, word) = self.row_col(addr);
-        let element = col.0 as usize * self.chips + word;
+        let element = cast::index(col.0) * self.chips + word;
         self.module
             .write_element(row, element, shuffled, value)
+            // gsdram-lint: allow(D4) row/element derive from an address the page table vetted
             .expect("poke within modelled memory");
     }
 
@@ -190,9 +192,10 @@ impl DramBridge {
     pub(crate) fn peek(&self, pages: &PageTable, addr: u64) -> u64 {
         let shuffled = pages.info(addr).shuffle;
         let (row, col, word) = self.row_col(addr);
-        let element = col.0 as usize * self.chips + word;
+        let element = cast::index(col.0) * self.chips + word;
         self.module
             .read_element(row, element, shuffled)
+            // gsdram-lint: allow(D4) row/element derive from an address the page table vetted
             .expect("peek within modelled memory")
     }
 
@@ -204,9 +207,10 @@ impl DramBridge {
         self.overlap.word_addresses_into(key, sem, &mut addrs);
         for (a, v) in addrs.iter().zip(data) {
             let (row, col, word) = self.row_col(*a);
-            let element = col.0 as usize * self.chips + word;
+            let element = cast::index(col.0) * self.chips + word;
             self.module
                 .write_element(row, element, shuffled, *v)
+                // gsdram-lint: allow(D4) word addresses come from OverlapCalc over a resident line
                 .expect("writeback within modelled memory");
         }
         self.addr_buf = addrs;
@@ -222,10 +226,11 @@ impl DramBridge {
         out.clear();
         for a in &addrs {
             let (row, col, word) = self.row_col(*a);
-            let element = col.0 as usize * self.chips + word;
+            let element = cast::index(col.0) * self.chips + word;
             out.push(
                 self.module
                     .read_element(row, element, shuffled)
+                    // gsdram-lint: allow(D4) word addresses come from OverlapCalc over a resident line
                     .expect("fetch within modelled memory"),
             );
         }
@@ -261,7 +266,7 @@ impl DramBridge {
         let mut subs = std::mem::take(&mut self.sub_buf);
         self.collect_subs(key, &mut subs);
         if subs.len() > 1 {
-            let (at_mem, n) = (self.to_mem(at_cpu), subs.len() as u32);
+            let (at_mem, n) = (self.to_mem(at_cpu), cast::len_to_u32(subs.len()));
             events.emit(|| SimEvent::GatherSplit {
                 addr: key.addr,
                 pattern: key.pattern,
@@ -306,7 +311,7 @@ impl DramBridge {
         let mut subs = std::mem::take(&mut self.sub_buf);
         self.collect_subs(key, &mut subs);
         if subs.len() > 1 {
-            let (at_mem, n) = (self.to_mem(at_cpu), subs.len() as u32);
+            let (at_mem, n) = (self.to_mem(at_cpu), cast::len_to_u32(subs.len()));
             events.emit(|| SimEvent::GatherSplit {
                 addr: key.addr,
                 pattern: key.pattern,
@@ -362,6 +367,7 @@ impl DramBridge {
         let Some(&id) = self.by_key.get(&key) else {
             return false;
         };
+        // gsdram-lint: allow(D4) by_key and outstanding are inserted/removed together
         let out = self.outstanding.get_mut(&id).expect("tracked");
         out.demand = true;
         out.waiters.push(waiter);
@@ -398,6 +404,7 @@ impl DramBridge {
         });
         let parent = self.parent_of.remove(&c.id)?;
         {
+            // gsdram-lint: allow(D4) parent_of entries are created with their outstanding entry
             let out = self.outstanding.get_mut(&parent).expect("parent tracked");
             out.done_at = out.done_at.max(c.at);
             out.remaining -= 1;
@@ -405,6 +412,7 @@ impl DramBridge {
                 return None; // an Impulse gather is still collecting lines
             }
         }
+        // gsdram-lint: allow(D4) remaining just hit zero, the entry is still present
         let out = self.outstanding.remove(&parent).expect("parent tracked");
         self.by_key.remove(&out.key);
         Some(FetchDone {
@@ -470,6 +478,7 @@ impl Machine {
         if self.hier.l2.contains(done.key) {
             self.hier.l2.probe(done.key, false);
             buf.clear();
+            // gsdram-lint: allow(D4) contains() held on the line above
             buf.extend_from_slice(self.hier.l2.data(done.key).expect("resident"));
         } else {
             self.bridge.read_line_into(&self.pages, done.key, &mut buf);
@@ -489,10 +498,12 @@ impl Machine {
             let value = if let Some(v) = w.req.store_value() {
                 self.invalidate_overlaps_on_store(w.core, done.key, done_cpu);
                 self.hier.l1[w.core].probe(done.key, true);
+                // gsdram-lint: allow(D4) fill_l1 ran above for any core missing the line
                 let d = self.hier.l1[w.core].data_mut(done.key).expect("filled");
                 d[word] = v;
                 v
             } else {
+                // gsdram-lint: allow(D4) fill_l1 ran above for any core missing the line
                 self.hier.l1[w.core].data(done.key).expect("filled")[word]
             };
             if w.req.store_value().is_none() {

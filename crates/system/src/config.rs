@@ -35,6 +35,7 @@ pub struct SystemConfig {
     /// Number of in-order cores.
     pub cores: usize,
     /// CPU clock in GHz (used with the DRAM clock for cycle conversion).
+    // gsdram-lint: allow(D5) report axis only; cycle conversion uses integer cpu_per_mem
     pub cpu_ghz: f64,
     /// CPU cycles per memory-controller cycle (4 GHz / 800 MHz = 5).
     pub cpu_per_mem: u64,
@@ -66,6 +67,7 @@ impl SystemConfig {
     pub fn table1(cores: usize, memory_bytes: usize) -> Self {
         SystemConfig {
             cores,
+            // gsdram-lint: allow(D5) report axis only; cycle conversion uses integer cpu_per_mem
             cpu_ghz: 4.0,
             cpu_per_mem: 5,
             l1: CacheConfig::l1_32k(),
@@ -119,6 +121,7 @@ impl SystemConfig {
     }
 
     /// Seconds represented by `cpu_cycles`.
+    // gsdram-lint: allow-block(D5) report-axis unit conversion; never feeds simulated timing
     pub fn seconds(&self, cpu_cycles: u64) -> f64 {
         cpu_cycles as f64 / (self.cpu_ghz * 1e9)
     }

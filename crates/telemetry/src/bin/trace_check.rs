@@ -15,6 +15,9 @@
 //! gsdram-trace-check trace.json
 //! ```
 
+// Binary target: printing the verdict is the job.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use std::process::ExitCode;
 
 use gsdram_telemetry::json::Json;

@@ -19,7 +19,7 @@
 //! like an unobserved one.
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
 use gsdram_core::port::{DramCmdKind, EventSink, RowOutcome, SimEvent};
@@ -114,7 +114,7 @@ pub struct Telemetry {
     depth_now: Vec<u32>,
     /// Channel of each in-flight request id (completions do not carry
     /// the channel).
-    inflight: HashMap<u64, usize>,
+    inflight: BTreeMap<u64, usize>,
     /// Per-pattern breakdowns, keyed by pattern id.
     patterns: BTreeMap<u8, PatternStats>,
     /// Per-bank breakdowns, keyed by `(channel, bank)`.
@@ -151,7 +151,7 @@ impl Telemetry {
             occupancy: Vec::new(),
             occupancy_dropped: 0,
             depth_now: Vec::new(),
-            inflight: HashMap::new(),
+            inflight: BTreeMap::new(),
             patterns: BTreeMap::new(),
             banks: BTreeMap::new(),
             refreshes: 0,

@@ -121,7 +121,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonParseError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonParseError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -140,7 +140,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, JsonParseError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut s = String::new();
         loop {
             let Some(b) = self.peek() else {
@@ -234,7 +234,7 @@ impl<'a> Parser<'a> {
                         return Ok(Json::Arr(items));
                     }
                     if !items.is_empty() {
-                        self.expect(b',')?;
+                        self.expect_byte(b',')?;
                     }
                     items.push(self.value()?);
                 }
@@ -249,12 +249,12 @@ impl<'a> Parser<'a> {
                         return Ok(Json::Obj(members));
                     }
                     if !members.is_empty() {
-                        self.expect(b',')?;
+                        self.expect_byte(b',')?;
                         self.skip_ws();
                     }
                     let key = self.string()?;
                     self.skip_ws();
-                    self.expect(b':')?;
+                    self.expect_byte(b':')?;
                     let v = self.value()?;
                     members.push((key, v));
                 }

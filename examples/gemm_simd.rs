@@ -4,6 +4,8 @@
 //!
 //! Run: `cargo run --release --example gemm_simd`
 
+// Examples are demos: their console narrative IS the deliverable.
+#![allow(clippy::print_stdout)]
 use gsdram::core::PatternId;
 use gsdram::system::config::SystemConfig;
 use gsdram::system::machine::{Machine, StopWhen};

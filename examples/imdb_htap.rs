@@ -7,6 +7,8 @@
 //!
 //! Run: `cargo run --release --example imdb_htap`
 
+// Examples are demos: their console narrative IS the deliverable.
+#![allow(clippy::print_stdout)]
 use gsdram::system::config::SystemConfig;
 use gsdram::system::machine::{Machine, StopWhen};
 use gsdram::system::ops::Program;

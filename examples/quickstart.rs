@@ -6,6 +6,8 @@
 //!
 //! Run: `cargo run --example quickstart`
 
+// Examples are demos: their console narrative IS the deliverable.
+#![allow(clippy::print_stdout)]
 use gsdram::core::{
     analysis::{reads_for_stride, MappingScheme},
     ColumnId, Geometry, GsDramConfig, GsModule, PatternId, RowId,

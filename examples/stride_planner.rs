@@ -5,6 +5,8 @@
 //!
 //! Run: `cargo run --example stride_planner`
 
+// Examples are demos: their console narrative IS the deliverable.
+#![allow(clippy::print_stdout)]
 use gsdram::core::plan::{baseline_commands, plan_stats, plan_stride};
 use gsdram::core::GsDramConfig;
 
