@@ -12,6 +12,7 @@ use gsdram_core::port::EventSink;
 use gsdram_core::stats::{ReportStats, StatsNode};
 use gsdram_core::PatternId;
 use gsdram_dram::controller::{RowPolicy, SchedPolicy};
+use gsdram_dram::mapping::BankHash;
 use gsdram_system::config::SystemConfig;
 use gsdram_system::machine::{Machine, RunReport, StopWhen};
 use gsdram_system::ops::Program;
@@ -38,6 +39,8 @@ pub struct MachineSpec {
     pub impulse: bool,
     /// Memory scheduling policy.
     pub sched: SchedPolicy,
+    /// Bank-hash stage of the physical-address map.
+    pub mapping: BankHash,
     /// Row-buffer management policy.
     pub row_policy: RowPolicy,
     /// DRAM ranks.
@@ -55,6 +58,7 @@ impl MachineSpec {
             prefetch: false,
             impulse: false,
             sched: SchedPolicy::FrFcfs,
+            mapping: BankHash::Direct,
             row_policy: RowPolicy::Open,
             ranks: 1,
             channels: 1,
@@ -74,9 +78,10 @@ impl MachineSpec {
     }
 
     /// Applies the shared machine flags (`--prefetch`, `--impulse`,
-    /// `--fcfs`, `--closed-row`, `--ranks`, `--channels`) on top of
-    /// this spec — the one definition both `gsdram-sim` and the
-    /// experiment binaries use.
+    /// `--fcfs`, `--sched <policy>`, `--mapping <hash>`,
+    /// `--closed-row`, `--ranks`, `--channels`) on top of this spec —
+    /// the one definition both `gsdram-sim` and the experiment
+    /// binaries use.
     pub fn with_args(mut self, args: &Args) -> Self {
         if args.flag("--prefetch") {
             self.prefetch = true;
@@ -86,6 +91,24 @@ impl MachineSpec {
         }
         if args.flag("--fcfs") {
             self.sched = SchedPolicy::Fcfs;
+        }
+        if let Some(s) = args.value("--sched") {
+            match SchedPolicy::parse(&s) {
+                Some(p) => self.sched = p,
+                None => eprintln!(
+                    "warning: unknown --sched '{s}' (try fr-fcfs, fcfs, fr-fcfs-cap[:N], bank-rr[:N]); keeping {}",
+                    self.sched.label()
+                ),
+            }
+        }
+        if let Some(s) = args.value("--mapping") {
+            match BankHash::parse(&s) {
+                Some(h) => self.mapping = h,
+                None => eprintln!(
+                    "warning: unknown --mapping '{s}' (try direct, xor-bank); keeping {}",
+                    self.mapping.label()
+                ),
+            }
         }
         if args.flag("--closed-row") {
             self.row_policy = RowPolicy::Closed;
@@ -106,6 +129,7 @@ impl MachineSpec {
         }
         cfg.controller.policy = self.sched;
         cfg.controller.row_policy = self.row_policy;
+        cfg.mapping = self.mapping;
         cfg.with_ranks(self.ranks).with_channels(self.channels)
     }
 
@@ -114,24 +138,29 @@ impl MachineSpec {
         Machine::new(self.config())
     }
 
-    /// One-line description for reports.
+    /// One-line description for reports. The non-default axes
+    /// (`mapping=`) only appear when set, so descriptions of Table 1
+    /// machines — and hence the frozen figure JSON — are unchanged by
+    /// new axes.
     pub fn describe(&self) -> String {
         format!(
-            "cores={} mem={}MiB{}{} sched={} row={} ranks={} channels={}",
+            "cores={} mem={}MiB{}{} sched={} row={} ranks={} channels={}{}",
             self.cores,
             self.mem_bytes >> 20,
             if self.prefetch { " prefetch" } else { "" },
             if self.impulse { " impulse" } else { "" },
-            match self.sched {
-                SchedPolicy::FrFcfs => "fr-fcfs",
-                SchedPolicy::Fcfs => "fcfs",
-            },
+            self.sched.label(),
             match self.row_policy {
                 RowPolicy::Open => "open",
                 RowPolicy::Closed => "closed",
             },
             self.ranks,
-            self.channels
+            self.channels,
+            if self.mapping == BankHash::Direct {
+                String::new()
+            } else {
+                format!(" mapping={}", self.mapping.label())
+            }
         )
     }
 }
@@ -657,5 +686,37 @@ mod tests {
         let cfg = ms.config();
         assert!(cfg.prefetch);
         assert_eq!(cfg.controller.ranks, 2);
+    }
+
+    #[test]
+    fn machine_spec_sched_mapping_args() {
+        let args = Args::new(["--sched", "fr-fcfs-cap:6", "--mapping", "xor-bank"]);
+        let ms = MachineSpec::table1(1, 1 << 20).with_args(&args);
+        assert_eq!(ms.sched, SchedPolicy::FrFcfsCap { cap: 6 });
+        assert_eq!(ms.mapping, BankHash::XorRow);
+        let cfg = ms.config();
+        assert_eq!(cfg.controller.policy, SchedPolicy::FrFcfsCap { cap: 6 });
+        assert_eq!(cfg.mapping, BankHash::XorRow);
+        // Invalid values warn and keep the current setting.
+        let bad = Args::new(["--sched", "nope", "--mapping", "nope"]);
+        let ms = MachineSpec::table1(1, 1 << 20).with_args(&bad);
+        assert_eq!(ms.sched, SchedPolicy::FrFcfs);
+        assert_eq!(ms.mapping, BankHash::Direct);
+    }
+
+    #[test]
+    fn describe_appends_non_default_axes_only() {
+        let ms = MachineSpec::table1(1, 1 << 20);
+        assert_eq!(
+            ms.describe(),
+            "cores=1 mem=1MiB sched=fr-fcfs row=open ranks=1 channels=1"
+        );
+        let mut ms = ms;
+        ms.sched = SchedPolicy::BankRr { batch: 4 };
+        ms.mapping = BankHash::XorRow;
+        assert_eq!(
+            ms.describe(),
+            "cores=1 mem=1MiB sched=bank-rr4 row=open ranks=1 channels=1 mapping=xor-bank"
+        );
     }
 }

@@ -33,6 +33,9 @@
 //!   --prefetch     enable the stride prefetcher
 //!   --impulse      Impulse-style gather baseline
 //!   --fcfs         FCFS scheduling instead of FR-FCFS
+//!   --sched P      scheduling engine: fr-fcfs (default), fcfs,
+//!                  fr-fcfs-cap[:N] (starvation cap), bank-rr[:N]
+//!   --mapping M    bank-hash stage: direct (default) or xor-bank
 //!   --closed-row   closed-row buffer management
 //!   --ranks N      DRAM ranks                   (default 1)
 //!   --channels N   DRAM channels                (default 1)
@@ -195,12 +198,12 @@ fn trace(args: &Args) -> ExitCode {
     let Some(name) = args.positional_at(1).map(str::to_owned) else {
         return usage();
     };
-    let Some(def) = experiments::find(&name) else {
-        eprintln!(
-            "error: unknown experiment '{name}' (known: {})",
-            experiments::names().join(", ")
-        );
-        return ExitCode::FAILURE;
+    let def = match experiments::resolve(&name) {
+        Ok(def) => def,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
     };
     let specs = (def.specs)(args);
     if specs.is_empty() {
@@ -276,7 +279,8 @@ fn main() -> ExitCode {
     let seed = args.u64("--seed", 42);
     let mem = (tuples as usize * 64 * 2).max(16 << 20);
     // The one machine-flag parser shared with the experiment engine
-    // (--prefetch, --impulse, --fcfs, --closed-row, --ranks, --channels).
+    // (--prefetch, --impulse, --fcfs, --sched, --mapping, --closed-row,
+    // --ranks, --channels).
     let machine = |cores: usize, mem: usize| MachineSpec::table1(cores, mem).with_args(&args);
 
     match workload.as_str() {

@@ -100,6 +100,22 @@ pub enum DramCmdKind {
     Refresh,
 }
 
+/// Which back-end engine decision a [`SimEvent::SchedDecision`]
+/// reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedDecisionKind {
+    /// A younger row hit was serviced while an older request waited.
+    RowHitBypass,
+    /// A starvation cap forced the oldest request to be serviced.
+    StarvationPromotion,
+    /// A batch scheduler's bank cursor rotated onward.
+    BatchRotation,
+    /// The write queue hit the high watermark: drain mode started.
+    DrainEnter,
+    /// The write queue shrank to the low watermark: drain mode ended.
+    DrainExit,
+}
+
 /// How a column command found the bank's row buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RowOutcome {
@@ -216,6 +232,20 @@ pub enum SimEvent {
         arrived_at_mem: u64,
         /// Data-burst completion time, memory cycles.
         done_at_mem: u64,
+    },
+    /// A memory controller's scheduling or write-drain engine took a
+    /// fairness/mode decision: a row hit bypassed an older request, a
+    /// starvation cap promoted the oldest request, a batch cursor
+    /// rotated, or write-drain mode flipped. The default FR-FCFS
+    /// configuration takes none of these, so traces of baseline runs
+    /// are unchanged.
+    SchedDecision {
+        /// Channel whose controller took the decision.
+        channel: usize,
+        /// Which decision was taken.
+        kind: SchedDecisionKind,
+        /// Decision time in memory-controller cycles.
+        at_mem: u64,
     },
     /// A logical gather could not be served by one column command and
     /// was split into multiple per-line sub-requests — the Impulse

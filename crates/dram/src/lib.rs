@@ -12,9 +12,15 @@
 //!   tWR/tWTR/tRRD/tFAW/tRFC;
 //! * [`command`] — the command-bus vocabulary, with pattern IDs riding on
 //!   column commands at zero timing cost (the central property of §3.6);
-//! * [`mapping`] — physical-address interleaving;
-//! * [`controller`] — an event-driven FR-FCFS memory controller with
-//!   write draining and refresh;
+//! * [`mapping`] — physical-address interleaving, structured as
+//!   composable component-function stages (interleave split + optional
+//!   XOR bank hash);
+//! * [`sched`] — pluggable scheduling engines (FR-FCFS, FCFS, a
+//!   starvation-capped FR-FCFS and a bank-round-robin batcher);
+//! * [`refresh`] — the periodic-refresh schedule;
+//! * [`wdrain`] — write-drain watermark hysteresis;
+//! * [`controller`] — the composition shell owning queues, clocks,
+//!   stats, energy and event emission;
 //! * [`energy`] — a DRAMPower-style IDD energy model.
 //!
 //! ```
@@ -42,5 +48,8 @@ pub mod command;
 pub mod controller;
 pub mod energy;
 pub mod mapping;
+pub mod refresh;
+pub mod sched;
 pub mod timing;
 pub mod verify;
+pub mod wdrain;

@@ -1,4 +1,21 @@
 //! Physical address to DRAM-coordinate mapping.
+//!
+//! The map is structured as a pipeline of *component functions* in the
+//! Sudoku sense: every stage is a bijection on the line space, so the
+//! composed map stays invertible by running the stages' inverses in
+//! reverse order. Two stages exist today:
+//!
+//! 1. the interleave *split* ([`Interleave`]) — div/mod chains turning
+//!    a line index into raw `(rank, bank, row, col)` coordinates;
+//! 2. an optional *bank-hash* stage ([`BankHash`]) — a per-row
+//!    permutation of the bank index ([`BankHash::XorRow`] XORs the low
+//!    row bits into the bank, spreading row-crossing streams across
+//!    banks the way commodity controllers do).
+//!
+//! [`AddressMap::decompose`] runs split-then-hash;
+//! [`AddressMap::compose`] runs the inverses hash-then-combine (the
+//! XOR stage is its own inverse). The default [`AddressMap::table1`]
+//! uses no hash stage, matching the paper's Table 1 system.
 
 use crate::command::BankId;
 use gsdram_core::{cast, ColumnId, RowId};
@@ -28,6 +45,48 @@ pub enum Interleave {
     BankFirst,
 }
 
+/// The optional bank-hash component function: a per-row permutation of
+/// the bank index applied after the interleave split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BankHash {
+    /// Identity: the bank comes straight from the interleave split.
+    Direct,
+    /// XOR the low `log2(banks)` row bits into the bank index. Rows
+    /// that would pile onto one bank under the direct map spread
+    /// across banks; within a row nothing changes. Self-inverse.
+    XorRow,
+}
+
+impl BankHash {
+    /// Parses a stage name as accepted by the `--mapping` flag:
+    /// `direct` or `xor-bank`.
+    pub fn parse(s: &str) -> Option<BankHash> {
+        match s {
+            "direct" => Some(BankHash::Direct),
+            "xor-bank" | "xorbank" | "xor" => Some(BankHash::XorRow),
+            _ => None,
+        }
+    }
+
+    /// Canonical label, stable across runs (used in run ids and the
+    /// machine description line).
+    pub fn label(&self) -> &'static str {
+        match self {
+            BankHash::Direct => "direct",
+            BankHash::XorRow => "xor-bank",
+        }
+    }
+
+    /// Applies the stage to a raw bank index for the given row. The
+    /// XOR stage is an involution, so this is also the inverse.
+    fn apply(&self, banks: u64, bank: u64, row: u64) -> u64 {
+        match self {
+            BankHash::Direct => bank,
+            BankHash::XorRow => bank ^ (row & (banks - 1)),
+        }
+    }
+}
+
 /// Maps byte addresses to (bank, row, column) coordinates.
 ///
 /// ```
@@ -46,6 +105,7 @@ pub struct AddressMap {
     banks: u64,
     ranks: u64,
     interleave: Interleave,
+    hash: BankHash,
 }
 
 impl AddressMap {
@@ -82,7 +142,25 @@ impl AddressMap {
             banks,
             ranks,
             interleave,
+            hash: BankHash::Direct,
         }
+    }
+
+    /// The same map with the given bank-hash stage appended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stage is [`BankHash::XorRow`] and the bank count
+    /// is not a power of two (the XOR mask must cover exactly the bank
+    /// index space to stay bijective).
+    pub fn with_bank_hash(mut self, hash: BankHash) -> Self {
+        assert!(
+            hash == BankHash::Direct || self.banks.is_power_of_two(),
+            "XOR bank hash needs a power-of-two bank count, got {}",
+            self.banks
+        );
+        self.hash = hash;
+        self
     }
 
     /// The Table 1 system: 64-byte lines, 8 KB rows (128 lines), 8 banks,
@@ -101,52 +179,51 @@ impl AddressMap {
         addr / self.line_bytes
     }
 
-    /// DRAM coordinates of the cache line containing `addr`.
+    /// DRAM coordinates of the cache line containing `addr`: the
+    /// interleave split followed by the bank-hash stage.
     pub fn decompose(&self, addr: u64) -> DramLocation {
         let line = self.line_of(addr);
-        match self.interleave {
+        let (rank, bank, row, col) = match self.interleave {
             Interleave::ColumnFirst => {
                 let col = line % self.cols_per_row;
                 let bank = (line / self.cols_per_row) % self.banks;
                 let rank = (line / (self.cols_per_row * self.banks)) % self.ranks;
                 let row = line / (self.cols_per_row * self.banks * self.ranks);
-                DramLocation {
-                    rank: cast::to_usize(rank),
-                    bank: cast::to_usize(bank),
-                    row: RowId(cast::to_u32(row)),
-                    col: ColumnId(cast::to_u32(col)),
-                }
+                (rank, bank, row, col)
             }
             Interleave::BankFirst => {
                 let bank = line % self.banks;
                 let rank = (line / self.banks) % self.ranks;
                 let col = (line / (self.banks * self.ranks)) % self.cols_per_row;
                 let row = line / (self.banks * self.ranks * self.cols_per_row);
-                DramLocation {
-                    rank: cast::to_usize(rank),
-                    bank: cast::to_usize(bank),
-                    row: RowId(cast::to_u32(row)),
-                    col: ColumnId(cast::to_u32(col)),
-                }
+                (rank, bank, row, col)
             }
+        };
+        let bank = self.hash.apply(self.banks, bank, row);
+        DramLocation {
+            rank: cast::to_usize(rank),
+            bank: cast::to_usize(bank),
+            row: RowId(cast::to_u32(row)),
+            col: ColumnId(cast::to_u32(col)),
         }
     }
 
     /// Inverse of [`decompose`](Self::decompose): the first byte address
-    /// of a location's line.
+    /// of a location's line — the bank-hash inverse (XOR is its own)
+    /// followed by the interleave combine.
     pub fn compose(&self, loc: DramLocation) -> u64 {
+        let row = u64::from(loc.row.0);
+        let bank = self.hash.apply(self.banks, cast::widen(loc.bank), row);
         let line = match self.interleave {
             Interleave::ColumnFirst => {
-                ((u64::from(loc.row.0) * self.ranks + cast::widen(loc.rank)) * self.banks
-                    + cast::widen(loc.bank))
-                    * self.cols_per_row
+                ((row * self.ranks + cast::widen(loc.rank)) * self.banks + bank) * self.cols_per_row
                     + u64::from(loc.col.0)
             }
             Interleave::BankFirst => {
-                ((u64::from(loc.row.0) * self.cols_per_row + u64::from(loc.col.0)) * self.ranks
+                ((row * self.cols_per_row + u64::from(loc.col.0)) * self.ranks
                     + cast::widen(loc.rank))
                     * self.banks
-                    + cast::widen(loc.bank)
+                    + bank
             }
         };
         line * self.line_bytes
@@ -188,6 +265,40 @@ mod tests {
                 assert_eq!(m.compose(m.decompose(addr)), addr, "{interleave:?} {line}");
             }
         }
+    }
+
+    #[test]
+    fn xor_bank_hash_permutes_banks_per_row() {
+        let m = AddressMap::table1().with_bank_hash(BankHash::XorRow);
+        // Row 0: the XOR mask is 0, identical to the direct map.
+        assert_eq!(m.decompose(0), AddressMap::table1().decompose(0));
+        // One full row group later (row 1), bank 0 hashes to bank 1.
+        let row1 = 128 * 64 * 8; // cols * line * banks
+        let direct = AddressMap::table1().decompose(row1);
+        let hashed = m.decompose(row1);
+        assert_eq!(direct.row, RowId(1));
+        assert_eq!(direct.bank, 0);
+        assert_eq!(hashed.bank, 1);
+        assert_eq!((hashed.row, hashed.col), (direct.row, direct.col));
+        // The stage is an involution: compose inverts decompose.
+        for line in [0u64, 1, 127, 128, 1023, 999_999] {
+            assert_eq!(m.compose(m.decompose(line * 64)), line * 64, "{line}");
+        }
+    }
+
+    #[test]
+    fn bank_hash_parse_labels() {
+        for h in [BankHash::Direct, BankHash::XorRow] {
+            assert_eq!(BankHash::parse(h.label()), Some(h));
+        }
+        assert_eq!(BankHash::parse("nonsense"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two bank count")]
+    fn xor_hash_rejects_odd_bank_counts() {
+        let _ =
+            AddressMap::new(64, 128, 6, Interleave::ColumnFirst).with_bank_hash(BankHash::XorRow);
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Refresh engine: the periodic-refresh schedule extracted from the
+//! controller's `advance()` loop.
+//!
+//! DDR3 devices must receive a REFRESH command every tREFI on average.
+//! The engine tracks when the next refresh is due and how it interacts
+//! with command scheduling: refresh takes priority over any command
+//! that is not strictly earlier than the due time (otherwise a steady
+//! request stream could postpone refresh forever). Issuing the actual
+//! PRE+REF command sequence stays in the controller, which owns the
+//! rank state machines, clocks and energy accounting.
+
+use crate::timing::Cycles;
+
+/// The periodic-refresh schedule for one channel.
+#[derive(Debug, Clone, Copy)]
+pub struct RefreshTimer {
+    enabled: bool,
+    refi: Cycles,
+    next_due: Cycles,
+}
+
+impl RefreshTimer {
+    /// A timer firing every `refi` cycles, first at `refi`. When
+    /// `enabled` is false the timer never fires.
+    pub fn new(enabled: bool, refi: Cycles) -> Self {
+        RefreshTimer {
+            enabled,
+            refi,
+            next_due: if enabled { refi } else { Cycles::MAX },
+        }
+    }
+
+    /// Whether periodic refresh is modelled at all.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Cycle the next refresh is due (`Cycles::MAX` when disabled).
+    pub fn next_due(&self) -> Cycles {
+        self.next_due
+    }
+
+    /// Whether a refresh is due within the scheduling horizon `limit`.
+    pub fn due_by(&self, limit: Cycles) -> bool {
+        self.enabled && self.next_due <= limit
+    }
+
+    /// Whether a due refresh preempts a command that could issue at
+    /// `ready`: refresh wins unless the command is strictly earlier.
+    pub fn preempts(&self, ready: Cycles, limit: Cycles) -> bool {
+        self.due_by(limit) && ready >= self.next_due
+    }
+
+    /// Advances the schedule by one period, after the controller issued
+    /// the refresh sequence.
+    pub fn advance_period(&mut self) {
+        self.next_due += self.refi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_every_period_when_enabled() {
+        let mut r = RefreshTimer::new(true, 100);
+        assert!(r.enabled());
+        assert_eq!(r.next_due(), 100);
+        assert!(!r.due_by(99));
+        assert!(r.due_by(100));
+        r.advance_period();
+        assert_eq!(r.next_due(), 200);
+    }
+
+    #[test]
+    fn disabled_timer_never_fires() {
+        let r = RefreshTimer::new(false, 100);
+        assert!(!r.enabled());
+        assert_eq!(r.next_due(), Cycles::MAX);
+        assert!(!r.due_by(Cycles::MAX));
+        assert!(!r.preempts(0, Cycles::MAX));
+    }
+
+    #[test]
+    fn preempts_commands_not_strictly_earlier() {
+        let r = RefreshTimer::new(true, 100);
+        assert!(r.preempts(100, 1000), "tie goes to refresh");
+        assert!(r.preempts(150, 1000));
+        assert!(!r.preempts(99, 1000), "strictly earlier command wins");
+        assert!(!r.preempts(150, 50), "not due within the horizon");
+    }
+}

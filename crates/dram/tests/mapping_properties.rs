@@ -1,0 +1,144 @@
+//! Property tests for the composable address-map stages: every
+//! configuration of interleave × rank count × bank hash must be a
+//! bijection between line addresses and DRAM coordinates, with
+//! `compose` the exact inverse of `decompose`.
+//!
+//! Small line spaces are checked exhaustively; a large sparse space is
+//! checked with a deterministic PRNG ([`gsdram_core::rng::SplitMix`])
+//! so the workspace stays dependency-free and failures reproduce
+//! bit-for-bit.
+
+use std::collections::BTreeSet;
+
+use gsdram_core::rng::SplitMix;
+use gsdram_dram::mapping::{AddressMap, BankHash, Interleave};
+
+/// Every map shape the tests sweep: both interleaves, 1–2 ranks, both
+/// bank-hash stages, over a deliberately small geometry (16 lines per
+/// row, 8 banks, so exhaustive sweeps stay instant).
+fn all_maps() -> Vec<AddressMap> {
+    let mut v = Vec::new();
+    for interleave in [Interleave::ColumnFirst, Interleave::BankFirst] {
+        for ranks in [1u64, 2] {
+            for hash in [BankHash::Direct, BankHash::XorRow] {
+                v.push(AddressMap::with_ranks(64, 16, 8, ranks, interleave).with_bank_hash(hash));
+            }
+        }
+    }
+    v
+}
+
+fn describe(map: &AddressMap) -> String {
+    format!("{map:?}")
+}
+
+/// decompose∘compose is the identity over an exhaustive window of line
+/// addresses, and the resulting coordinates never collide — the map is
+/// a bijection line ↔ (rank, bank, row, col).
+#[test]
+fn exhaustive_round_trip_and_bijectivity() {
+    // 16 cols × 8 banks × 2 ranks × 8 rows = 2048 lines covers several
+    // full rows of every shape.
+    const LINES: u64 = 2048;
+    for map in all_maps() {
+        let mut seen = BTreeSet::new();
+        for line in 0..LINES {
+            let addr = line * map.line_bytes();
+            let loc = map.decompose(addr);
+            assert_eq!(
+                map.compose(loc),
+                addr,
+                "{}: compose∘decompose at line {line}",
+                describe(&map)
+            );
+            assert!(
+                seen.insert((loc.rank, loc.bank, loc.row.0, loc.col.0)),
+                "{}: lines {line} collides at {loc:?}",
+                describe(&map)
+            );
+        }
+        assert_eq!(seen.len() as u64, LINES);
+    }
+}
+
+/// Interior byte addresses decompose to the same location as the
+/// line's first byte, and composing returns that first byte.
+#[test]
+fn interior_bytes_round_trip_to_line_base() {
+    for map in all_maps() {
+        for line in [0u64, 1, 17, 255, 1023] {
+            let base = line * map.line_bytes();
+            for off in [1u64, 7, 63] {
+                let loc = map.decompose(base + off);
+                assert_eq!(loc, map.decompose(base), "{}", describe(&map));
+                assert_eq!(map.compose(loc), base, "{}", describe(&map));
+            }
+        }
+    }
+}
+
+/// The XOR stage only permutes banks: rank, row and column are
+/// identical to the direct map's, and within any one row the hash is a
+/// bank permutation.
+#[test]
+fn xor_stage_is_a_per_row_bank_permutation() {
+    for interleave in [Interleave::ColumnFirst, Interleave::BankFirst] {
+        for ranks in [1u64, 2] {
+            let direct = AddressMap::with_ranks(64, 16, 8, ranks, interleave);
+            let hashed = direct.with_bank_hash(BankHash::XorRow);
+            let mut banks_by_key: std::collections::BTreeMap<_, BTreeSet<usize>> =
+                Default::default();
+            for line in 0..4096u64 {
+                let addr = line * 64;
+                let d = direct.decompose(addr);
+                let h = hashed.decompose(addr);
+                assert_eq!((d.rank, d.row, d.col), (h.rank, h.row, h.col));
+                banks_by_key
+                    .entry((h.rank, h.row.0, h.col.0))
+                    .or_default()
+                    .insert(h.bank);
+            }
+            // Keys that saw every bank under the direct map must still
+            // see every bank hashed — a permutation, never a collision.
+            for ((rank, row, col), banks) in banks_by_key {
+                assert!(
+                    banks.len() == 8 || banks.len() == 1,
+                    "(r{rank} row{row} col{col}): partial bank set {banks:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Randomised round-trip over a large, sparse line space (beyond the
+/// exhaustive window, including u32-row-sized addresses).
+#[test]
+fn randomized_round_trip_over_large_space() {
+    let mut rng = SplitMix(0xD15EA5E);
+    for map in all_maps() {
+        for _ in 0..4096 {
+            // Up to ~2^31 lines: rows stay within RowId's u32 space
+            // for every shape above.
+            let line = rng.next_u64() % (1 << 31);
+            let addr = line * map.line_bytes();
+            assert_eq!(
+                map.compose(map.decompose(addr)),
+                addr,
+                "{}: line {line}",
+                describe(&map)
+            );
+        }
+    }
+}
+
+/// Table 1's map (the default machine) must stay direct-mapped: the
+/// hash stage is opt-in, so frozen figure output cannot shift.
+#[test]
+fn table1_has_no_hash_stage() {
+    let t = AddressMap::table1();
+    assert_eq!(t, t.with_bank_hash(BankHash::Direct));
+    for line in 0..1024u64 {
+        let addr = line * t.line_bytes();
+        assert_eq!(t.compose(t.decompose(addr)), addr);
+    }
+}

@@ -1,8 +1,9 @@
 //! The DRAM bridge: everything below the caches.
 //!
 //! [`DramBridge`] owns the GS-DRAM module (the actual data), the
-//! per-channel FR-FCFS memory controllers (the timing), the address
-//! map, and the outstanding-fetch tracking that ties controller-level
+//! per-channel memory controllers (the timing, with a pluggable
+//! scheduling engine — FR-FCFS by default), the address map (with its
+//! configurable bank-hash stage), and the outstanding-fetch tracking that ties controller-level
 //! sub-requests back to logical line fetches. It speaks two clock
 //! domains: callers pass CPU-cycle times; controllers run on
 //! memory-controller cycles (the bridge converts at the boundary).
@@ -113,7 +114,8 @@ impl DramBridge {
                 cast::widen(cfg.controller.banks),
                 cast::widen(cfg.controller.ranks),
                 gsdram_dram::mapping::Interleave::ColumnFirst,
-            ),
+            )
+            .with_bank_hash(cfg.mapping),
             controllers: (0..cfg.channels.max(1))
                 .map(|ch| {
                     let mut c = MemController::new(cfg.controller.clone());
@@ -378,8 +380,17 @@ impl DramBridge {
         self.controllers[ch].advance_observed(t_mem, events);
     }
 
-    pub(crate) fn take_channel_completions(&mut self, ch: usize, t_mem: u64) -> Vec<Completion> {
-        self.controllers[ch].take_completions(t_mem)
+    /// Drains the completions due by `t_mem` on channel `ch` into
+    /// `out` (appended in recorded order; `out` is not cleared), so the
+    /// steady-state delivery loop reuses one machine-owned buffer
+    /// instead of allocating per poll.
+    pub(crate) fn take_channel_completions_into(
+        &mut self,
+        ch: usize,
+        t_mem: u64,
+        out: &mut Vec<Completion>,
+    ) {
+        self.controllers[ch].take_completions_into(t_mem, out);
     }
 
     pub(crate) fn advance_channel_until_completion(
@@ -520,14 +531,19 @@ impl Machine {
     /// completions.
     pub(crate) fn sync_memory(&mut self, t_cpu: u64, programs: &mut [&mut dyn Program]) {
         let t_mem = self.bridge.to_mem(t_cpu);
+        let mut comps = std::mem::take(&mut self.comp_buf);
         for ch in 0..self.bridge.channels() {
             self.bridge.advance_channel(ch, t_mem, &mut self.events);
-            for c in self.bridge.take_channel_completions(ch, t_mem) {
+            comps.clear();
+            self.bridge
+                .take_channel_completions_into(ch, t_mem, &mut comps);
+            for c in comps.drain(..) {
                 if let Some(done) = self.bridge.note_completion(c, &mut self.events) {
                     self.deliver(done, programs);
                 }
             }
         }
+        self.comp_buf = comps;
     }
 
     /// All active cores are blocked: advance DRAM until at least one
@@ -535,6 +551,7 @@ impl Machine {
     pub(crate) fn advance_until_completion(&mut self, programs: &mut [&mut dyn Program]) {
         loop {
             let mut progressed = false;
+            let mut comps = std::mem::take(&mut self.comp_buf);
             for ch in 0..self.bridge.channels() {
                 let Some(t) = self
                     .bridge
@@ -542,13 +559,16 @@ impl Machine {
                 else {
                     continue;
                 };
-                for c in self.bridge.take_channel_completions(ch, t) {
+                comps.clear();
+                self.bridge.take_channel_completions_into(ch, t, &mut comps);
+                for c in comps.drain(..) {
                     if let Some(done) = self.bridge.note_completion(c, &mut self.events) {
                         self.deliver(done, programs);
                     }
                 }
                 progressed = true;
             }
+            self.comp_buf = comps;
             assert!(
                 progressed,
                 "deadlock: cores waiting but no memory traffic outstanding"

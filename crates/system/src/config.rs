@@ -2,7 +2,8 @@
 
 use gsdram_cache::cache::CacheConfig;
 use gsdram_core::GsDramConfig;
-use gsdram_dram::controller::ControllerConfig;
+use gsdram_dram::controller::{ControllerConfig, SchedPolicy};
+use gsdram_dram::mapping::BankHash;
 
 /// How strided gathers are realised by the memory system (the §7
 /// related-work axis).
@@ -60,6 +61,9 @@ pub struct SystemConfig {
     /// DRAM-row granularity, so a gathered line never spans channels
     /// (the simple end of the §4.2 interleaving discussion).
     pub channels: usize,
+    /// Bank-hash stage of the physical-address map (Table 1 uses the
+    /// direct map; the XOR hash is an ablation axis).
+    pub mapping: BankHash,
 }
 
 impl SystemConfig {
@@ -79,6 +83,7 @@ impl SystemConfig {
             shuffle_latency: 3,
             gather: GatherSupport::GsDram,
             channels: 1,
+            mapping: BankHash::Direct,
         }
     }
 
@@ -106,6 +111,20 @@ impl SystemConfig {
     /// Uses `channels` independent DRAM channels (Table 1 uses one).
     pub fn with_channels(mut self, channels: usize) -> Self {
         self.channels = channels.max(1);
+        self
+    }
+
+    /// Uses scheduling policy `sched` at every memory controller
+    /// (Table 1 uses FR-FCFS).
+    pub fn with_sched(mut self, sched: SchedPolicy) -> Self {
+        self.controller.policy = sched;
+        self
+    }
+
+    /// Uses bank-hash stage `mapping` in the physical-address map
+    /// (Table 1 uses the direct map).
+    pub fn with_mapping(mut self, mapping: BankHash) -> Self {
+        self.mapping = mapping;
         self
     }
 
@@ -155,6 +174,18 @@ mod tests {
         assert!(c.clone().with_prefetch().prefetch);
         assert_eq!(c.gather, GatherSupport::GsDram);
         assert_eq!(c.clone().with_impulse().gather, GatherSupport::Impulse);
+    }
+
+    #[test]
+    fn sched_and_mapping_builders() {
+        let c = SystemConfig::default();
+        assert_eq!(c.controller.policy, SchedPolicy::FrFcfs);
+        assert_eq!(c.mapping, BankHash::Direct);
+        let c = c
+            .with_sched(SchedPolicy::FrFcfsCap { cap: 8 })
+            .with_mapping(BankHash::XorRow);
+        assert_eq!(c.controller.policy, SchedPolicy::FrFcfsCap { cap: 8 });
+        assert_eq!(c.mapping, BankHash::XorRow);
     }
 
     #[test]

@@ -30,6 +30,7 @@
 use gsdram_cache::cache::EvictedLine;
 use gsdram_core::port::{EventHub, EventSink};
 use gsdram_core::PatternId;
+use gsdram_dram::controller::Completion;
 
 use crate::bridge::DramBridge;
 use crate::coherence::CoherenceEngine;
@@ -59,6 +60,9 @@ pub struct Machine {
     pub(crate) wb: Vec<EvictedLine>,
     /// Scratch for one line's words moving between DRAM and the caches.
     pub(crate) line_buf: Vec<u64>,
+    /// Scratch for draining controller completions without a per-poll
+    /// allocation (non-empty only within one delivery step).
+    pub(crate) comp_buf: Vec<Completion>,
 }
 
 impl Machine {
@@ -80,6 +84,7 @@ impl Machine {
             events: EventHub::new(),
             wb: Vec::new(),
             line_buf: Vec::new(),
+            comp_buf: Vec::new(),
         }
     }
 

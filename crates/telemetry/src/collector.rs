@@ -22,7 +22,7 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
-use gsdram_core::port::{DramCmdKind, EventSink, RowOutcome, SimEvent};
+use gsdram_core::port::{DramCmdKind, EventSink, RowOutcome, SchedDecisionKind, SimEvent};
 use gsdram_core::stats::{ReportStats, StatsNode};
 
 use crate::hist::Histogram;
@@ -49,6 +49,22 @@ pub struct PatternStats {
     pub chip_conflicts: u64,
     /// Read latencies, memory cycles.
     pub read_latency: Histogram,
+}
+
+/// Back-end engine decisions observed, folded from
+/// [`SimEvent::SchedDecision`] events (all channels merged).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecisionStats {
+    /// Row hits serviced ahead of an older pending request.
+    pub row_hit_bypasses: u64,
+    /// Starvation-cap promotions of the oldest request.
+    pub starvation_promotions: u64,
+    /// Batch-scheduler bank-cursor rotations.
+    pub batch_rotations: u64,
+    /// Write-drain mode entries.
+    pub drain_entries: u64,
+    /// Write-drain mode exits.
+    pub drain_exits: u64,
 }
 
 /// Per-bank service breakdown, keyed by `(channel, bank)`.
@@ -129,6 +145,8 @@ pub struct Telemetry {
     cache_evicts: u64,
     /// Coherence overlap flushes observed.
     overlap_flushes: u64,
+    /// Scheduler/write-drain engine decisions observed.
+    decisions: DecisionStats,
 }
 
 impl Default for Telemetry {
@@ -159,6 +177,7 @@ impl Telemetry {
             cache_fills: 0,
             cache_evicts: 0,
             overlap_flushes: 0,
+            decisions: DecisionStats::default(),
         }
     }
 
@@ -270,10 +289,22 @@ impl Telemetry {
                 self.patterns.entry(pattern.0).or_default().chip_conflicts +=
                     u64::from(subs.saturating_sub(1));
             }
+            SimEvent::SchedDecision { kind, .. } => match kind {
+                SchedDecisionKind::RowHitBypass => self.decisions.row_hit_bypasses += 1,
+                SchedDecisionKind::StarvationPromotion => self.decisions.starvation_promotions += 1,
+                SchedDecisionKind::BatchRotation => self.decisions.batch_rotations += 1,
+                SchedDecisionKind::DrainEnter => self.decisions.drain_entries += 1,
+                SchedDecisionKind::DrainExit => self.decisions.drain_exits += 1,
+            },
             SimEvent::CacheFill { .. } => self.cache_fills += 1,
             SimEvent::CacheEvict { .. } => self.cache_evicts += 1,
             SimEvent::OverlapFlush { .. } => self.overlap_flushes += 1,
         }
+    }
+
+    /// Scheduler/write-drain engine decisions observed so far.
+    pub fn decisions(&self) -> DecisionStats {
+        self.decisions
     }
 
     /// The retained raw events, oldest first.
@@ -369,6 +400,11 @@ impl ReportStats for Telemetry {
             .counter("cache_fills", self.cache_fills)
             .counter("cache_evicts", self.cache_evicts)
             .counter("overlap_flushes", self.overlap_flushes)
+            .counter("sched_hit_bypasses", self.decisions.row_hit_bypasses)
+            .counter("sched_promotions", self.decisions.starvation_promotions)
+            .counter("sched_batch_rotations", self.decisions.batch_rotations)
+            .counter("drain_entries", self.decisions.drain_entries)
+            .counter("drain_exits", self.decisions.drain_exits)
             .child(channels)
             .child(patterns)
             .child(banks)

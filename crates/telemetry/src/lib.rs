@@ -56,5 +56,5 @@ pub mod hist;
 pub mod json;
 
 pub use chrome::chrome_trace;
-pub use collector::{Collector, Telemetry, DEFAULT_CAPACITY};
+pub use collector::{Collector, DecisionStats, Telemetry, DEFAULT_CAPACITY};
 pub use hist::Histogram;
