@@ -85,6 +85,7 @@ fn bench_planner(r: &Runner) {
 
 fn bench_controller(r: &Runner) {
     let map = AddressMap::table1();
+    let mut done = Vec::new();
     r.bench("controller 64-request stream", || {
         let mut mc = MemController::new(ControllerConfig::default());
         for i in 0..64u64 {
@@ -103,7 +104,9 @@ fn bench_controller(r: &Runner) {
             );
         }
         let end = mc.drain();
-        black_box(mc.take_completions(end));
+        done.clear();
+        mc.take_completions_into(end, &mut done);
+        black_box(done.len());
     });
 }
 

@@ -70,6 +70,7 @@ impl Args {
         "quiet",
         "hist",
         "all",
+        "quick",
     ];
 
     /// `--name value` lookup.

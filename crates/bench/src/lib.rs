@@ -3,8 +3,9 @@
 //! The experiment engine: declarative run specs ([`spec`]), a registry
 //! mapping every figure/ablation/extension of DESIGN.md §5–§6 to its
 //! specs ([`experiments`]), a parallel sweep runner ([`sweep`]), shared
-//! command-line parsing ([`args`]), and the micro-benchmark harness
-//! ([`micro`]) used by the `benches/` targets.
+//! command-line parsing ([`args`]), the simulator-throughput harness
+//! ([`perf`]) behind `gsdram-bench perf`, and the micro-benchmark
+//! harness ([`micro`]) used by the `benches/` targets.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -12,6 +13,7 @@
 pub mod args;
 pub mod experiments;
 pub mod micro;
+pub mod perf;
 pub mod spec;
 pub mod sweep;
 

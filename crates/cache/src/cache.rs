@@ -154,7 +154,7 @@ struct Slot {
 pub struct SetAssocCache {
     cfg: CacheConfig,
     sets: Vec<Vec<Slot>>,
-    clock: u64,
+    lru_gen: u64,
     stats: CacheStats,
 }
 
@@ -174,7 +174,7 @@ impl SetAssocCache {
         SetAssocCache {
             cfg,
             sets: vec![Vec::with_capacity(cfg.assoc); sets],
-            clock: 0,
+            lru_gen: 0,
             stats: CacheStats::default(),
         }
     }
@@ -197,12 +197,12 @@ impl SetAssocCache {
     /// Looks up `key`; on a hit updates LRU (and the dirty bit if
     /// `write`) and returns `true`. Counts a hit or miss.
     pub fn probe(&mut self, key: LineKey, write: bool) -> bool {
-        self.clock += 1;
-        let clock = self.clock;
+        self.lru_gen += 1;
+        let gen = self.lru_gen;
         let set = self.set_index(key);
         for slot in &mut self.sets[set] {
             if slot.valid && slot.key == key {
-                slot.lru = clock;
+                slot.lru = gen;
                 if write {
                     slot.dirty = true;
                 }
@@ -263,8 +263,8 @@ impl SetAssocCache {
             "fill data must be one line"
         );
         assert!(!self.contains(key), "double fill of {key:?}");
-        self.clock += 1;
-        let clock = self.clock;
+        self.lru_gen += 1;
+        let gen = self.lru_gen;
         let set_idx = self.set_index(key);
         let assoc = self.cfg.assoc;
         let set = &mut self.sets[set_idx];
@@ -272,7 +272,7 @@ impl SetAssocCache {
             valid: true,
             key,
             dirty: false,
-            lru: clock,
+            lru: gen,
             data,
         };
         if set.len() < assoc {

@@ -103,7 +103,7 @@ impl EvictedSectors {
 pub struct SectoredCache {
     cfg: CacheConfig,
     sets: Vec<Vec<Line>>,
-    clock: u64,
+    lru_gen: u64,
     stats: SectoredStats,
 }
 
@@ -121,7 +121,7 @@ impl SectoredCache {
         SectoredCache {
             cfg,
             sets: vec![Vec::with_capacity(cfg.assoc); sets],
-            clock: 0,
+            lru_gen: 0,
             stats: SectoredStats::default(),
         }
     }
@@ -141,12 +141,12 @@ impl SectoredCache {
 
     /// Looks up the sector holding `addr`; counts a hit or miss.
     pub fn probe(&mut self, addr: u64, write: bool) -> bool {
-        self.clock += 1;
-        let clock = self.clock;
+        self.lru_gen += 1;
+        let gen = self.lru_gen;
         let (set, tag, sector) = self.split(addr);
         for l in &mut self.sets[set] {
             if l.tag == tag && l.valid_mask & (1 << sector) != 0 {
-                l.lru = clock;
+                l.lru = gen;
                 if write {
                     l.dirty_mask |= 1 << sector;
                 }
@@ -162,22 +162,22 @@ impl SectoredCache {
     /// line's tag. Returns an eviction victim if a tag had to be
     /// replaced.
     pub fn fill_sector(&mut self, addr: u64, value: u64) -> Option<EvictedSectors> {
-        self.clock += 1;
-        let clock = self.clock;
+        self.lru_gen += 1;
+        let gen = self.lru_gen;
         let (set, tag, sector) = self.split(addr);
         let words = self.cfg.words_per_line();
         // Sector merge into an existing tag.
         if let Some(l) = self.sets[set].iter_mut().find(|l| l.tag == tag) {
             l.valid_mask |= 1 << sector;
             l.data[sector] = value;
-            l.lru = clock;
+            l.lru = gen;
             return None;
         }
         let mut new_line = Line {
             tag,
             valid_mask: 1 << sector,
             dirty_mask: 0,
-            lru: clock,
+            lru: gen,
             data: vec![0; words],
         };
         new_line.data[sector] = value;

@@ -62,6 +62,7 @@ pub mod port;
 pub mod rng;
 pub mod shuffle;
 pub mod stats;
+pub mod time;
 
 pub use config::{Geometry, GsDramConfig};
 pub use error::{AccessError, ConfigError};

@@ -5,6 +5,12 @@
 //! legal only after their JEDEC-mandated delays; [`Rank::earliest`]
 //! computes the first legal issue cycle for a command and
 //! [`Rank::issue`] applies it.
+//!
+//! Per-bank state lives in a [`BankSet`] — parallel `open_row` /
+//! `ready_*` arrays (struct-of-arrays) rather than an array of bank
+//! structs, so the controller's FR-FCFS candidate scan and the
+//! time-skip engine's next-event min-fold sweep flat, branch-light
+//! arrays instead of striding over interleaved fields.
 
 use crate::command::{BankId, DramCommand};
 use crate::timing::{Cycles, TimingParams};
@@ -14,32 +20,66 @@ use gsdram_core::RowId;
 /// legal.
 const NEVER: Cycles = 0;
 
-/// Per-bank timing state.
+/// Per-bank timing state for one rank, stored as parallel arrays.
+///
+/// Index `b` of each array describes bank `b`: the row its buffer holds
+/// (if any) and the earliest cycle each command class may issue there.
 #[derive(Debug, Clone)]
-pub struct Bank {
-    open_row: Option<RowId>,
-    /// Earliest cycle an ACTIVATE to this bank may issue.
-    earliest_act: Cycles,
-    /// Earliest cycle a PRECHARGE to this bank may issue.
-    earliest_pre: Cycles,
-    /// Earliest cycle a column command to this bank may issue
+pub struct BankSet {
+    /// The row each bank's row buffer holds, `None` when precharged.
+    open_row: Vec<Option<RowId>>,
+    /// Earliest cycle an ACTIVATE to each bank may issue.
+    ready_act: Vec<Cycles>,
+    /// Earliest cycle a PRECHARGE to each bank may issue.
+    ready_pre: Vec<Cycles>,
+    /// Earliest cycle a column command to each bank may issue
     /// (tRCD after the activate).
-    earliest_col: Cycles,
+    ready_col: Vec<Cycles>,
 }
 
-impl Bank {
-    fn new() -> Self {
-        Bank {
-            open_row: None,
-            earliest_act: NEVER,
-            earliest_pre: NEVER,
-            earliest_col: NEVER,
+impl BankSet {
+    fn new(banks: usize) -> Self {
+        BankSet {
+            open_row: vec![None; banks],
+            ready_act: vec![NEVER; banks],
+            ready_pre: vec![NEVER; banks],
+            ready_col: vec![NEVER; banks],
         }
     }
 
-    /// The currently open row, if any.
-    pub fn open_row(&self) -> Option<RowId> {
+    /// Number of banks.
+    pub fn len(&self) -> usize {
+        self.open_row.len()
+    }
+
+    /// Whether the set holds no banks.
+    pub fn is_empty(&self) -> bool {
+        self.open_row.is_empty()
+    }
+
+    /// The row open in `bank`, if any.
+    pub fn open_row(&self, bank: BankId) -> Option<RowId> {
+        self.open_row[bank]
+    }
+
+    /// Whether any bank has an open row — a flat sweep of the
+    /// `open_row` array.
+    pub fn any_open(&self) -> bool {
+        self.open_row.iter().any(Option::is_some)
+    }
+
+    /// Banks with an open row, front to back, without allocating.
+    pub fn open_banks(&self) -> impl Iterator<Item = BankId> + '_ {
         self.open_row
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.map(|_| i))
+    }
+
+    /// The latest `ready_act` bound across all banks (the all-bank
+    /// refresh constraint) — a flat max-fold.
+    fn act_ready_all(&self) -> Cycles {
+        self.ready_act.iter().copied().fold(NEVER, Cycles::max)
     }
 }
 
@@ -60,7 +100,7 @@ pub enum RowBufferState {
 #[derive(Debug, Clone)]
 pub struct Rank {
     timing: TimingParams,
-    banks: Vec<Bank>,
+    banks: BankSet,
     /// Issue times of the most recent ACTIVATEs (for tFAW).
     recent_acts: Vec<Cycles>,
     /// Earliest next ACTIVATE anywhere in the rank (tRRD).
@@ -78,7 +118,7 @@ impl Rank {
     pub fn new(timing: TimingParams, banks: usize) -> Self {
         Rank {
             timing,
-            banks: (0..banks).map(|_| Bank::new()).collect(),
+            banks: BankSet::new(banks),
             recent_acts: Vec::new(),
             earliest_act_rank: NEVER,
             earliest_read: NEVER,
@@ -99,7 +139,7 @@ impl Rank {
 
     /// Row-buffer state of `bank` with respect to `row`.
     pub fn row_state(&self, bank: BankId, row: RowId) -> RowBufferState {
-        match self.banks[bank].open_row {
+        match self.banks.open_row[bank] {
             Some(r) if r == row => RowBufferState::Hit,
             Some(_) => RowBufferState::Conflict,
             None => RowBufferState::Closed,
@@ -108,14 +148,14 @@ impl Rank {
 
     /// The open row of `bank`.
     pub fn open_row(&self, bank: BankId) -> Option<RowId> {
-        self.banks[bank].open_row
+        self.banks.open_row[bank]
     }
 
     /// Earliest cycle at which `cmd` may legally issue, not before `now`.
     pub fn earliest(&self, cmd: &DramCommand, now: Cycles) -> Cycles {
         let t = match cmd {
             DramCommand::Activate { bank, .. } => {
-                let mut t = self.banks[*bank].earliest_act.max(self.earliest_act_rank);
+                let mut t = self.banks.ready_act[*bank].max(self.earliest_act_rank);
                 // tFAW: the 4th-most-recent ACT constrains the next one.
                 if self.recent_acts.len() >= 4 {
                     let window_start = self.recent_acts[self.recent_acts.len() - 4];
@@ -123,21 +163,13 @@ impl Rank {
                 }
                 t
             }
-            DramCommand::Precharge { bank } => self.banks[*bank].earliest_pre,
-            DramCommand::Read { bank, .. } => {
-                self.banks[*bank].earliest_col.max(self.earliest_read)
-            }
-            DramCommand::Write { bank, .. } => {
-                self.banks[*bank].earliest_col.max(self.earliest_write)
-            }
+            DramCommand::Precharge { bank } => self.banks.ready_pre[*bank],
+            DramCommand::Read { bank, .. } => self.banks.ready_col[*bank].max(self.earliest_read),
+            DramCommand::Write { bank, .. } => self.banks.ready_col[*bank].max(self.earliest_write),
             DramCommand::Refresh => {
                 // All banks must be precharged and past tRP.
-                let mut t = NEVER;
-                for b in &self.banks {
-                    debug_assert!(b.open_row.is_none(), "refresh with open row");
-                    t = t.max(b.earliest_act);
-                }
-                t
+                debug_assert!(!self.banks.any_open(), "refresh with open row");
+                self.banks.act_ready_all()
             }
         };
         t.max(now).max(self.earliest_cmd)
@@ -160,14 +192,14 @@ impl Rank {
             self.earliest(cmd, at)
         );
         let t = &self.timing;
+        let b = &mut self.banks;
         let done = match *cmd {
             DramCommand::Activate { bank, row } => {
-                let b = &mut self.banks[bank];
-                debug_assert!(b.open_row.is_none(), "activate with row already open");
-                b.open_row = Some(row);
-                b.earliest_col = at + t.rcd;
-                b.earliest_pre = at + t.ras;
-                b.earliest_act = at + t.rc;
+                debug_assert!(b.open_row[bank].is_none(), "activate with row already open");
+                b.open_row[bank] = Some(row);
+                b.ready_col[bank] = at + t.rcd;
+                b.ready_pre[bank] = at + t.ras;
+                b.ready_act[bank] = at + t.rc;
                 self.earliest_act_rank = self.earliest_act_rank.max(at + t.rrd);
                 self.recent_acts.push(at);
                 if self.recent_acts.len() > 8 {
@@ -176,19 +208,15 @@ impl Rank {
                 None
             }
             DramCommand::Precharge { bank } => {
-                let b = &mut self.banks[bank];
-                debug_assert!(b.open_row.is_some(), "precharge with no open row");
-                b.open_row = None;
-                b.earliest_act = b.earliest_act.max(at + t.rp);
+                debug_assert!(b.open_row[bank].is_some(), "precharge with no open row");
+                b.open_row[bank] = None;
+                b.ready_act[bank] = b.ready_act[bank].max(at + t.rp);
                 None
             }
             DramCommand::Read { bank, .. } => {
                 let data_end = at + t.cl + t.burst;
-                {
-                    let b = &mut self.banks[bank];
-                    debug_assert!(b.open_row.is_some(), "read with no open row");
-                    b.earliest_pre = b.earliest_pre.max(at + t.rtp);
-                }
+                debug_assert!(b.open_row[bank].is_some(), "read with no open row");
+                b.ready_pre[bank] = b.ready_pre[bank].max(at + t.rtp);
                 // Next column commands: tCCD between reads; a write's data
                 // must clear the read burst plus turnaround.
                 self.earliest_read = self.earliest_read.max(at + t.ccd);
@@ -200,21 +228,19 @@ impl Rank {
             }
             DramCommand::Write { bank, .. } => {
                 let data_end = at + t.cwl + t.burst;
-                {
-                    let b = &mut self.banks[bank];
-                    debug_assert!(b.open_row.is_some(), "write with no open row");
-                    b.earliest_pre = b.earliest_pre.max(data_end + t.wr);
-                }
+                debug_assert!(b.open_row[bank].is_some(), "write with no open row");
+                b.ready_pre[bank] = b.ready_pre[bank].max(data_end + t.wr);
                 self.earliest_write = self.earliest_write.max(at + t.ccd);
                 self.earliest_read = self.earliest_read.max(data_end + t.wtr).max(at + t.ccd);
                 Some(data_end)
             }
             DramCommand::Refresh => {
-                for b in &mut self.banks {
-                    debug_assert!(b.open_row.is_none());
-                    b.earliest_act = b.earliest_act.max(at + t.rfc);
+                debug_assert!(!b.any_open(), "refresh with open row");
+                let ready = at + t.rfc;
+                for r in &mut b.ready_act {
+                    *r = (*r).max(ready);
                 }
-                self.earliest_act_rank = self.earliest_act_rank.max(at + t.rfc);
+                self.earliest_act_rank = self.earliest_act_rank.max(ready);
                 None
             }
         };
@@ -226,16 +252,13 @@ impl Rank {
     /// Whether any bank has an open row (for background-energy
     /// apportioning).
     pub fn any_bank_active(&self) -> bool {
-        self.banks.iter().any(|b| b.open_row.is_some())
+        self.banks.any_open()
     }
 
-    /// Banks with an open row, for refresh preparation.
-    pub fn open_banks(&self) -> Vec<BankId> {
-        self.banks
-            .iter()
-            .enumerate()
-            .filter_map(|(i, b)| b.open_row.map(|_| i))
-            .collect()
+    /// Banks with an open row, for refresh preparation — an iterator
+    /// over the flat `open_row` array, no allocation.
+    pub fn open_banks(&self) -> impl Iterator<Item = BankId> + '_ {
+        self.banks.open_banks()
     }
 }
 
@@ -381,12 +404,12 @@ mod tests {
     #[test]
     fn open_banks_listing() {
         let mut r = rank();
-        assert!(r.open_banks().is_empty());
+        assert_eq!(r.open_banks().count(), 0);
         assert!(!r.any_bank_active());
         r.issue(&act(2, 1), 0);
         let e = r.earliest(&act(5, 3), 0);
         r.issue(&act(5, 3), e);
-        assert_eq!(r.open_banks(), vec![2, 5]);
+        assert_eq!(r.open_banks().collect::<Vec<_>>(), vec![2, 5]);
         assert!(r.any_bank_active());
     }
 }

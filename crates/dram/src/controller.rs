@@ -31,6 +31,7 @@ use crate::timing::{Cycles, TimingParams};
 use crate::wdrain::{DrainTransition, WriteDrain};
 use gsdram_core::port::{DramCmdKind, EventHub, RowOutcome, SchedDecisionKind, SimEvent};
 use gsdram_core::stats::{ReportStats, StatsNode};
+use gsdram_core::time::{Horizon, TimeFold};
 use gsdram_core::PatternId;
 use gsdram_telemetry::Histogram;
 
@@ -327,6 +328,23 @@ pub struct MemController {
     /// sampled at each column-command retire. Unconditional, like
     /// `read_hist`.
     depth_hist: Histogram,
+    /// Cached next-event bound (the time-skip contract): every
+    /// scheduling scan that issues nothing already knows the exact next
+    /// cycle something can issue, so it is remembered here and
+    /// [`advance_observed`](Self::advance_observed) short-circuits any
+    /// advance that stops before it. Invalidated on every state change
+    /// (enqueue, command issue).
+    horizon: Horizon,
+    /// Whether `advance` may leap over horizon-proven dead time
+    /// (disable only to cross-check leap ≡ step in tests).
+    time_skip: bool,
+    /// Scratch for the per-(rank, bank) representative pick of the
+    /// candidate scan (reused across steps; no steady-state allocation).
+    bank_best: Vec<Option<usize>>,
+    /// Scratch for the candidate list itself.
+    cand_buf: Vec<Candidate>,
+    /// Scratch for the open-bank list of a refreshing rank.
+    open_buf: Vec<usize>,
 }
 
 impl MemController {
@@ -361,7 +379,22 @@ impl MemController {
             channel: 0,
             read_hist: Histogram::new(),
             depth_hist: Histogram::new(),
+            horizon: Horizon::Stale,
+            time_skip: true,
+            bank_best: Vec::new(),
+            cand_buf: Vec::new(),
+            open_buf: Vec::new(),
         }
+    }
+
+    /// Enables or disables time-skipping (leaping over horizon-proven
+    /// dead time in [`advance`](Self::advance)). On by default; turning
+    /// it off forces every advance through the full scheduling scan —
+    /// the two modes are byte-identical in every observable (commands,
+    /// completions, statistics, events), which the leap≡step
+    /// differential tests pin.
+    pub fn set_time_skip(&mut self, on: bool) {
+        self.time_skip = on;
     }
 
     /// Sets the channel index stamped on emitted [`SimEvent`]s
@@ -433,6 +466,7 @@ impl MemController {
             served: None,
         };
         self.seq += 1;
+        self.horizon.invalidate();
         match req.kind {
             AccessKind::Read => self.readq.push(p),
             AccessKind::Write => self.writeq.push(p),
@@ -461,22 +495,43 @@ impl MemController {
         });
     }
 
-    /// The earliest cycle at which *something* will happen if no new
-    /// requests arrive: the next schedulable command or refresh. `None`
-    /// if fully idle (no pending work, refresh disabled or far away is
-    /// still reported).
+    /// The *exact* earliest cycle at which something will happen if no
+    /// new requests arrive: the next issuable command (through the same
+    /// scheduling-engine selection `advance` uses, so capped/fair
+    /// engines report the command they would actually pick), the next
+    /// due auto-precharge under the closed-row policy, or the next due
+    /// refresh. `None` when fully idle (nothing pending and refresh
+    /// disabled).
+    ///
+    /// Satisfies the time-skip contract of [`gsdram_core::time`]:
+    /// `advance(next_event() - 1)` issues nothing, `advance
+    /// (next_event())` makes progress.
     pub fn next_event(&self) -> Option<Cycles> {
-        let mut t = if self.pending() > 0 {
-            // A conservative lower bound; advance() computes exact times.
-            Some(self.now)
-        } else {
-            None
-        };
-        if self.refresh.enabled() {
-            let due = self.refresh.next_due();
-            t = Some(t.map_or(due, |x| x.min(due)));
+        if !self.horizon.is_stale() {
+            return self.horizon.known();
         }
-        t
+        self.compute_next_event()
+    }
+
+    /// The uncached next-event computation: a pure replay of the next
+    /// scheduling step's decision logic. The fold over {selected
+    /// candidate, due auto-precharge, refresh due} is exact — see the
+    /// ordering-invariant argument in `docs/PERF.md`.
+    fn compute_next_event(&self) -> Option<Cycles> {
+        let mut fold = TimeFold::new();
+        fold.fold_opt(self.refresh.horizon());
+        let writes = self
+            .wdrain
+            .would_serve(self.writeq.len(), !self.readq.is_empty());
+        let queue = if writes { &self.writeq } else { &self.readq };
+        let cands = self.candidates(queue, self.now);
+        if !cands.is_empty() {
+            fold.fold(cands[self.sched.select(&cands)].ready);
+        }
+        if self.cfg.row_policy == RowPolicy::Closed {
+            fold.fold_opt(self.peek_close(self.now));
+        }
+        fold.earliest()
     }
 
     fn accrue_energy(&mut self, to: Cycles) {
@@ -501,6 +556,7 @@ impl MemController {
         at: Cycles,
         events: &mut EventHub,
     ) -> Option<Cycles> {
+        self.horizon.invalidate();
         self.accrue_energy(at);
         let done = self.ranks[rank].issue(&cmd, at);
         if let Some(end) = done {
@@ -547,8 +603,11 @@ impl MemController {
     /// then an all-bank REFRESH.
     fn do_refresh(&mut self, events: &mut EventHub) {
         let mut t = self.now.max(self.refresh.next_due());
+        let mut open = std::mem::take(&mut self.open_buf);
         for r in 0..self.ranks.len() {
-            for bank in self.ranks[r].open_banks() {
+            open.clear();
+            open.extend(self.ranks[r].open_banks());
+            for &bank in &open {
                 let cmd = DramCommand::Precharge { bank };
                 let at = self.ranks[r].earliest(&cmd, t).max(self.cmd_bus_at);
                 self.issue(r, cmd, at, events);
@@ -559,7 +618,9 @@ impl MemController {
             self.issue(r, cmd, at, events);
             t = t.max(at);
         }
+        self.open_buf = open;
         self.refresh.advance_period();
+        self.horizon.invalidate();
     }
 
     /// Whether writes should be serviced now, per the write-drain
@@ -610,10 +671,35 @@ impl MemController {
         t
     }
 
+    /// Allocating wrapper over
+    /// [`candidates_into`](Self::candidates_into) for `&self` callers
+    /// off the hot path ([`next_event`](Self::next_event) cache
+    /// misses).
     fn candidates(&self, queue: &[Pending], from: Cycles) -> Vec<Candidate> {
+        let mut out = Vec::new();
+        let mut best_per_bank = Vec::new();
+        self.candidates_into(queue, from, &mut best_per_bank, &mut out);
+        out
+    }
+
+    /// For one queue, selects the per-bank representative request and
+    /// its next command into `out` as (queue index, command, earliest,
+    /// is-hit, seq) candidates. `best_per_bank` and `out` are caller
+    /// scratch (cleared here), so the per-step scan allocates nothing
+    /// in the steady state — both scans are flat sweeps over the
+    /// [`crate::bank::BankSet`] arrays.
+    fn candidates_into(
+        &self,
+        queue: &[Pending],
+        from: Cycles,
+        best_per_bank: &mut Vec<Option<usize>>,
+        out: &mut Vec<Candidate>,
+    ) {
         let banks = self.cfg.banks;
         let slots = self.ranks.len() * banks;
-        let mut best_per_bank: Vec<Option<usize>> = vec![None; slots];
+        out.clear();
+        best_per_bank.clear();
+        best_per_bank.resize(slots, None);
         // Pass 1: pick the representative request per (rank, bank) —
         // the ordering criterion is the scheduling engine's.
         for (i, p) in queue.iter().enumerate() {
@@ -642,8 +728,7 @@ impl MemController {
             }
         }
         // Pass 2: next command + earliest time for each representative.
-        let mut out = Vec::new();
-        for idx in best_per_bank.into_iter().flatten() {
+        for idx in best_per_bank.iter().copied().flatten() {
             let p = &queue[idx];
             let loc = p.req.loc;
             let state = self.ranks[loc.rank].row_state(loc.bank, loc.row);
@@ -677,7 +762,6 @@ impl MemController {
                 seq: p.seq,
             });
         }
-        out
     }
 
     /// Advances the controller's clock to `to`, issuing every command
@@ -688,10 +772,27 @@ impl MemController {
 
     /// [`advance`](Self::advance), emitting [`SimEvent`]s describing
     /// each issued command and serviced request to `events`.
+    ///
+    /// When the cached horizon proves nothing can issue by `to`, the
+    /// clock leaps straight there — one compare instead of a scheduling
+    /// scan. The horizon stays valid across leaps (bounds only move
+    /// later as time passes) until an enqueue or issue invalidates it.
     pub fn advance_observed(&mut self, to: Cycles, events: &mut EventHub) {
-        while self.step(to, events) {}
+        if !(self.time_skip && self.horizon.skips(to)) {
+            while self.step(to, events) {}
+        }
         self.now = self.now.max(to);
         self.accrue_energy(self.now);
+    }
+
+    /// Whether advancing to `to` is provably a no-op for observers: the
+    /// cached horizon shows no command can issue by `to` and no
+    /// recorded completion is due by then. Deliberately cheap — a stale
+    /// horizon answers `false` rather than triggering a scheduling
+    /// scan, so callers can use this as a per-sync fast-path guard
+    /// (see `DramBridge::quiescent_until` in gsdram-system).
+    pub fn quiescent_until(&self, to: Cycles) -> bool {
+        self.time_skip && self.horizon.skips(to) && self.completions.iter().all(|c| c.at > to)
     }
 
     /// Whether any completions are recorded (at any time).
@@ -754,19 +855,36 @@ impl MemController {
         None
     }
 
+    /// Pure preview of [`close_candidate`](Self::close_candidate):
+    /// the next due auto-precharge time without dropping stale entries
+    /// (the next scheduling step drops them; skipping them here is
+    /// equivalent because only still-warranted entries can act).
+    fn peek_close(&self, from: Cycles) -> Option<Cycles> {
+        for &(rank, bank) in &self.pending_close {
+            if self.ranks[rank].open_row(bank).is_none() || self.queued_hit_for(rank, bank) {
+                continue;
+            }
+            let cmd = DramCommand::Precharge { bank };
+            return Some(self.earliest_on(rank, &cmd, from));
+        }
+        None
+    }
+
     /// Issues the single next command whose legal issue time is ≤
     /// `limit` (refresh included), advancing the clock exactly to it.
     /// Returns `false` when nothing could be issued within `limit`.
     fn step(&mut self, limit: Cycles, events: &mut EventHub) -> bool {
         {
-            let read_cands = self.candidates(&self.readq, self.now);
-            let have_ready_read = !read_cands.is_empty();
+            // Every queued request yields a per-bank representative
+            // candidate, so "a read candidate exists" is exactly "the
+            // read queue is non-empty" — the write-drain decision needs
+            // no read scan.
+            let have_ready_read = !self.readq.is_empty();
             let writes = self.serving_writes(have_ready_read, events);
-            let cands = if writes {
-                self.candidates(&self.writeq, self.now)
-            } else {
-                read_cands
-            };
+            let mut cands = std::mem::take(&mut self.cand_buf);
+            let mut bank_best = std::mem::take(&mut self.bank_best);
+            let queue = if writes { &self.writeq } else { &self.readq };
+            self.candidates_into(queue, self.now, &mut bank_best, &mut cands);
             let from_writeq = writes;
 
             // Pass 2 belongs to the scheduling engine.
@@ -775,6 +893,8 @@ impl MemController {
             } else {
                 Some(cands[self.sched.select(&cands)])
             };
+            self.cand_buf = cands;
+            self.bank_best = bank_best;
 
             // Closed-row policy: a due auto-precharge competes with (and
             // on ties loses to) request commands.
@@ -784,6 +904,14 @@ impl MemController {
                     let refresh_blocks = self.refresh.preempts(at, limit);
                     if beats && !refresh_blocks {
                         if at > limit {
+                            // Next state change: this precharge, unless
+                            // a refresh comes due first (the precharge
+                            // beats `best`, so `best` never fires
+                            // earlier).
+                            let mut fold = TimeFold::new();
+                            fold.fold(at);
+                            fold.fold_opt(self.refresh.horizon());
+                            self.horizon.learn(fold.earliest());
                             return false;
                         }
                         self.issue(rank, cmd, at, events);
@@ -810,11 +938,20 @@ impl MemController {
                 ..
             }) = best
             else {
-                return false; // nothing pending
+                // Nothing pending: only a refresh can happen.
+                self.horizon.learn(self.refresh.horizon());
+                return false;
             };
 
             // Do not run past `limit`.
             if at > limit {
+                // Next state change: the selected command, unless a
+                // refresh comes due first (any due auto-precharge did
+                // not beat it, so it cannot fire earlier either).
+                let mut fold = TimeFold::new();
+                fold.fold(at);
+                fold.fold_opt(self.refresh.horizon());
+                self.horizon.learn(fold.earliest());
                 return false;
             }
 
@@ -1149,6 +1286,62 @@ mod tests {
         let pos2 = done.iter().position(|x| x.id == 2).unwrap();
         let pos3 = done.iter().position(|x| x.id == 3).unwrap();
         assert!(done[pos3].at < done[pos2].at, "hit must finish first");
+    }
+
+    #[test]
+    fn next_event_is_exact_and_pins_advance_until_completion() {
+        // Walk a mixed read/write stream (row hits, conflicts, drain
+        // mode, refresh all in play) strictly through next_event():
+        // stepping to bound-1 must issue nothing, stepping to the bound
+        // must issue something. A twin controller running the one-shot
+        // advance_until_completion path must land on the identical
+        // completion schedule.
+        let req = |i: u64| {
+            let addr = (i % 6) * 65536 + i * 64;
+            if i.is_multiple_of(3) {
+                write_req(i, addr)
+            } else {
+                read_req(i, addr)
+            }
+        };
+        let mut c = MemController::new(ControllerConfig::default());
+        let mut twin = MemController::new(ControllerConfig::default());
+        for i in 0..24 {
+            c.enqueue(req(i), i * 7);
+            twin.enqueue(req(i), i * 7);
+        }
+        // Command-issue observables only: drain-mode edge counters may
+        // lazily materialise at the first step after an enqueue, which
+        // the time-skip contract deliberately leaves unscheduled.
+        let obs = |c: &MemController| {
+            let s = c.stats();
+            let issued = (s.reads, s.writes, s.activates, s.precharges, s.refreshes);
+            (issued, c.pending())
+        };
+        let mut guard = 0;
+        while c.pending() > 0 {
+            let ne = c.next_event().expect("pending work must report a bound");
+            if ne > 0 {
+                let before = obs(&c);
+                c.advance(ne - 1);
+                assert_eq!(obs(&c), before, "issued before the reported bound {ne}");
+            }
+            let before = obs(&c);
+            c.advance(ne);
+            assert_ne!(obs(&c), before, "no progress at the reported bound {ne}");
+            guard += 1;
+            assert!(guard < 10_000, "next_event walk failed to converge");
+        }
+        let mut expect = Vec::new();
+        while twin.advance_until_completion().is_some() {
+            twin.take_completions_into(Cycles::MAX, &mut expect);
+        }
+        let walked = c.take_completions(Cycles::MAX);
+        assert!(!walked.is_empty());
+        assert_eq!(
+            walked.iter().map(|x| (x.id, x.at)).collect::<Vec<_>>(),
+            expect.iter().map(|x| (x.id, x.at)).collect::<Vec<_>>(),
+        );
     }
 
     #[test]

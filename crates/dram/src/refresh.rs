@@ -56,6 +56,13 @@ impl RefreshTimer {
     pub fn advance_period(&mut self) {
         self.next_due += self.refi;
     }
+
+    /// The timer's time-skip horizon: the exact next cycle its state
+    /// can change (the next due refresh), or `None` when disabled —
+    /// the form [`gsdram_core::time::TimeFold`] folds.
+    pub fn horizon(&self) -> Option<Cycles> {
+        self.enabled.then_some(self.next_due)
+    }
 }
 
 #[cfg(test)]

@@ -68,6 +68,29 @@ impl WriteDrain {
     pub fn should_serve(&self, depth: usize, have_ready_read: bool) -> bool {
         depth > 0 && (self.draining || !have_ready_read)
     }
+
+    /// The drain mode [`update`](Self::update) *would* leave the engine
+    /// in at `depth`, without mutating it — the time-skip engine's pure
+    /// preview for computing `next_event` bounds. Replicates `update`'s
+    /// enter-then-exit evaluation order exactly (so degenerate
+    /// `high <= low` watermarks preview the same way they latch).
+    pub fn would_drain(&self, depth: usize) -> bool {
+        let mut draining = self.draining;
+        if depth >= self.high {
+            draining = true;
+        }
+        if depth <= self.low {
+            draining = false;
+        }
+        draining
+    }
+
+    /// Pure preview of [`update`](Self::update) followed by
+    /// [`should_serve`](Self::should_serve): which queue the next
+    /// scheduling step will draw from, without mutating the hysteresis.
+    pub fn would_serve(&self, depth: usize, have_ready_read: bool) -> bool {
+        depth > 0 && (self.would_drain(depth) || !have_ready_read)
+    }
 }
 
 #[cfg(test)]
@@ -100,6 +123,40 @@ mod tests {
         // Draining: writes even with ready reads.
         w.update(4);
         assert!(w.should_serve(4, true));
+    }
+
+    #[test]
+    fn would_serve_previews_update_then_should_serve() {
+        // Exhaustive check: for every (state, depth, ready-read) cell,
+        // the pure preview equals mutate-then-ask on a scratch copy.
+        for high in 1..6 {
+            for low in 0..6 {
+                for start in [false, true] {
+                    for depth in 0..8 {
+                        for ready in [false, true] {
+                            let w = WriteDrain {
+                                high,
+                                low,
+                                draining: start,
+                            };
+                            let mut scratch = w;
+                            scratch.update(depth);
+                            assert_eq!(
+                                w.would_drain(depth),
+                                scratch.is_draining(),
+                                "would_drain high={high} low={low} start={start} depth={depth}"
+                            );
+                            assert_eq!(
+                                w.would_serve(depth, ready),
+                                scratch.should_serve(depth, ready),
+                                "would_serve high={high} low={low} start={start} \
+                                 depth={depth} ready={ready}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! bijection on column/chip addresses) before any config ever has to
 //! be diffed.
 //!
-//! Rules are named (`D1`..`D6`) and individually waivable with inline
+//! Rules are named (`D1`..`D7`) and individually waivable with inline
 //! comments:
 //!
 //! ```text

@@ -1,7 +1,7 @@
 //! The rule engine: named, individually waivable determinism and
 //! invariant checks over the lexed workspace.
 //!
-//! Each rule has an id (`D1`..`D6`, `W0`, `W1`), a one-line summary,
+//! Each rule has an id (`D1`..`D7`, `W0`, `W1`), a one-line summary,
 //! and a rationale tied to the repo's determinism contract
 //! (`docs/ARCHITECTURE.md` §ordering invariants, `docs/LINTS.md`).
 //! Violations carry the file, line, column, and a message naming the
@@ -14,7 +14,7 @@ use crate::scan::{FileKind, SourceFile};
 /// One reported violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule id (`D1`..`D6`, `W0`, `W1`).
+    /// Rule id (`D1`..`D7`, `W0`, `W1`).
     pub rule: &'static str,
     /// Workspace-relative path.
     pub rel: String,
@@ -76,6 +76,12 @@ pub const RULES: &[RuleInfo] = &[
                   documented in the docs/ARCHITECTURE.md event table",
     },
     RuleInfo {
+        id: "D7",
+        summary: "no direct clock mutation (`now += 1`-style unit ticking) in \
+                  simulation-crate library code outside core/src/time.rs; advance \
+                  clocks by leaping to a component's reported next-event bound",
+    },
+    RuleInfo {
         id: "W0",
         summary: "every waiver must parse and carry a non-empty reason",
     },
@@ -99,6 +105,9 @@ const D2_IDENTS: &[&str] = &[
     "getrandom",
     "RandomState",
 ];
+
+/// Identifiers rule D7 treats as clock fields when unit-ticked.
+const D7_CLOCKS: &[&str] = &["now", "time", "clock", "cycle", "cycles"];
 
 /// File basenames where rule D5 permits float arithmetic: the energy
 /// model, report assembly, and statistics leaves.
@@ -136,6 +145,7 @@ pub fn check_workspace(files: &[SourceFile], arch_md: Option<(&str, &str)>) -> R
         check_bare_casts(f, &mut report);
         check_panic_paths(f, &mut report);
         check_floats(f, &mut report);
+        check_clock_ticking(f, &mut report);
         check_waiver_syntax(f, &mut report);
     }
     check_sim_event_coverage(files, arch_md, &mut report);
@@ -350,6 +360,45 @@ fn check_floats(f: &SourceFile, report: &mut Report) {
                     "float `{}` outside energy/report/stats leaves; keep simulation state integral",
                     f.text(t)
                 ),
+            );
+        }
+    }
+}
+
+/// D7: direct clock mutation (`<clock> += <literal>` unit ticking) in
+/// simulation-crate library code outside the time-engine module. A
+/// clock stepped by a constant bypasses the next-event fold of
+/// `gsdram_core::time`, turning leaps back into crawls; clocks must
+/// advance via `max(now, to)` toward a component's reported bound.
+fn check_clock_ticking(f: &SourceFile, report: &mut Report) {
+    if !f.class.is_sim_lib(true) || f.rel == "crates/core/src/time.rs" {
+        return;
+    }
+    let code = f.code_tokens();
+    for (pos, &i) in code.iter().enumerate() {
+        let t = &f.tokens[i];
+        if t.kind != TokKind::Ident || f.in_test_region(t.start) {
+            continue;
+        }
+        let name = f.text(t);
+        if !D7_CLOCKS.contains(&name) {
+            continue;
+        }
+        let tok_is = |n: usize, s: &str| {
+            code.get(pos + n)
+                .is_some_and(|&j| f.text(&f.tokens[j]) == s)
+        };
+        let rhs_is_literal = code
+            .get(pos + 3)
+            .is_some_and(|&j| f.tokens[j].kind == TokKind::Number);
+        if tok_is(1, "+") && tok_is(2, "=") && rhs_is_literal {
+            push(
+                report,
+                f,
+                "D7",
+                t.line,
+                t.col,
+                format!("`{name} += <literal>` ticks a clock by a constant; leap to the component's next-event bound (gsdram_core::time) instead"),
             );
         }
     }
@@ -642,6 +691,30 @@ mod tests {
         let ints = "fn f() -> usize { 7usize + 0xEF + 1e3 as usize }\n";
         let r = check_one("crates/dram/src/bank.rs", ints);
         assert_eq!(rules_of(&r), ["D5"], "only the true exponent literal");
+    }
+
+    #[test]
+    fn d7_flags_unit_ticking_outside_time_engine() {
+        let bad = "fn f(&mut self) { self.now += 1; }\n";
+        assert_eq!(rules_of(&check_one("crates/dram/src/x.rs", bad)), ["D7"]);
+        assert_eq!(rules_of(&check_one("crates/system/src/x.rs", bad)), ["D7"]);
+        // The time-engine module itself, non-sim crates, and tests are
+        // out of scope.
+        assert!(rules_of(&check_one("crates/core/src/time.rs", bad)).is_empty());
+        assert!(rules_of(&check_one("crates/bench/src/x.rs", bad)).is_empty());
+        assert!(rules_of(&check_one("crates/dram/tests/x.rs", bad)).is_empty());
+        // Any watched clock name and any literal step width count.
+        let time2 = "fn f(&mut self) { core.time += 2; }\n";
+        assert_eq!(
+            rules_of(&check_one("crates/system/src/x.rs", time2)),
+            ["D7"]
+        );
+        // Leaping by a computed bound is the sanctioned idiom.
+        let leap = "fn f(&mut self) { self.now = self.now.max(to); self.pos += 1; }\n";
+        assert!(rules_of(&check_one("crates/dram/src/x.rs", leap)).is_empty());
+        // A non-literal step (an op cost, a delta) is not unit ticking.
+        let delta = "fn f(&mut self) { self.time += cost; }\n";
+        assert!(rules_of(&check_one("crates/system/src/x.rs", delta)).is_empty());
     }
 
     #[test]

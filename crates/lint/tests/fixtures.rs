@@ -82,6 +82,16 @@ fn d6_event_coverage() {
 }
 
 #[test]
+fn d7_clock_ticking() {
+    let r = check("D7/violation");
+    assert_eq!(rules(&r), ["D7"], "{:?}", r.violations);
+    assert!(r.violations[0].rel.ends_with("dram/src/ticker.rs"));
+    let r = check("D7/waived");
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+    assert_eq!(r.waived, 1);
+}
+
+#[test]
 fn w0_waiver_hygiene() {
     let r = check("W0/violation");
     // The reasonless waiver is reported AND fails to suppress its D4;

@@ -1,0 +1,13 @@
+//! D7 fixture: a clock stepped cycle-by-cycle in simulation code.
+
+pub struct Ticker {
+    now: u64,
+}
+
+impl Ticker {
+    pub fn advance(&mut self, to: u64) {
+        while self.now < to {
+            self.now += 1;
+        }
+    }
+}

@@ -26,6 +26,7 @@ use std::collections::BTreeMap;
 use gsdram_cache::cache::LineKey;
 use gsdram_cache::overlap::OverlapCalc;
 use gsdram_core::port::{EventHub, MemReq, SimEvent};
+use gsdram_core::time::TimeFold;
 use gsdram_core::{cast, ColumnId, Geometry, GsModule, PatternId, RowId};
 use gsdram_dram::controller::{
     AccessKind, Completion, ControllerStats, MemController, MemRequest, ReqId,
@@ -380,6 +381,37 @@ impl DramBridge {
         self.controllers[ch].advance_observed(t_mem, events);
     }
 
+    /// The exact next memory-clock cycle at which any channel's state
+    /// can change or a recorded completion becomes due: the global fold
+    /// of every controller's [`MemController::next_event`] and earliest
+    /// pending completion. `None` when the whole memory system is idle.
+    pub(crate) fn next_event(&self) -> Option<u64> {
+        let mut fold = TimeFold::new();
+        for c in &self.controllers {
+            fold.fold_opt(c.next_event());
+            fold.fold_opt(c.peek_completion());
+        }
+        fold.earliest()
+    }
+
+    /// Whether every channel is provably quiet through memory cycle
+    /// `t_mem`: no command can issue and no completion becomes due.
+    /// Cheap (cached horizons only, no scheduling scans), so the
+    /// per-op sync path can use it as a leap guard.
+    pub(crate) fn quiescent_until(&self, t_mem: u64) -> bool {
+        self.controllers.iter().all(|c| c.quiescent_until(t_mem))
+    }
+
+    /// Leaps every channel's clock (and energy cursor) to `t_mem`.
+    /// Equivalent to [`advance_channel`](Self::advance_channel) on each
+    /// channel; meant for the quiescent case where the caller skips
+    /// completion polling entirely.
+    pub(crate) fn leap_to(&mut self, t_mem: u64, events: &mut EventHub) {
+        for c in &mut self.controllers {
+            c.advance_observed(t_mem, events);
+        }
+    }
+
     /// Drains the completions due by `t_mem` on channel `ch` into
     /// `out` (appended in recorded order; `out` is not cleared), so the
     /// steady-state delivery loop reuses one machine-owned buffer
@@ -531,6 +563,13 @@ impl Machine {
     /// completions.
     pub(crate) fn sync_memory(&mut self, t_cpu: u64, programs: &mut [&mut dyn Program]) {
         let t_mem = self.bridge.to_mem(t_cpu);
+        if self.bridge.quiescent_until(t_mem) {
+            // Every channel's horizon proves nothing can issue and no
+            // completion comes due by `t_mem`: leap the clocks and skip
+            // the completion-polling loop.
+            self.bridge.leap_to(t_mem, &mut self.events);
+            return;
+        }
         let mut comps = std::mem::take(&mut self.comp_buf);
         for ch in 0..self.bridge.channels() {
             self.bridge.advance_channel(ch, t_mem, &mut self.events);
