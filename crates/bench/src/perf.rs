@@ -15,7 +15,7 @@
 //! specs, so two runs of `perf` may differ only in the wall-second and
 //! rate fields.
 
-use gsdram_telemetry::json::Json;
+use gsdram_core::json::Json;
 
 use crate::args::Args;
 use crate::experiments::{ExperimentDef, REGISTRY};
@@ -30,8 +30,24 @@ pub const DEFAULT_OUT: &str = "BENCH_gsdram.json";
 /// The downscaling flags `--quick` appends: every size knob any
 /// registry experiment reads, pinned to CI-smoke scale.
 const QUICK_FLAGS: &[&str] = &[
-    "--txns", "200", "--tuples", "2048", "--sizes", "16", "--lines", "256", "--trials", "500",
-    "--pairs", "2048", "--nodes", "4096",
+    "--txns",
+    "200",
+    "--tuples",
+    "2048",
+    "--sizes",
+    "16",
+    "--lines",
+    "256",
+    "--trials",
+    "500",
+    "--pairs",
+    "2048",
+    "--nodes",
+    "4096",
+    "--accesses",
+    "512",
+    "--elements",
+    "8192",
 ];
 
 /// One experiment's measurement.

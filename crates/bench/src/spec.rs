@@ -13,6 +13,7 @@ use gsdram_core::stats::{ReportStats, StatsNode};
 use gsdram_core::PatternId;
 use gsdram_dram::controller::{RowPolicy, SchedPolicy};
 use gsdram_dram::mapping::BankHash;
+use gsdram_patterns::{Compiled, PatternLayout, PatternSpec};
 use gsdram_system::config::SystemConfig;
 use gsdram_system::machine::{Machine, RunReport, StopWhen};
 use gsdram_system::ops::Program;
@@ -262,6 +263,14 @@ pub enum WorkloadSpec {
         /// Field to scan.
         field: usize,
     },
+    /// Extension: a `gsdram-patterns` spec — an arbitrary declarative
+    /// gather/scatter index stream over a word array.
+    Pattern {
+        /// The parsed pattern spec.
+        spec: PatternSpec,
+        /// Data-array layout (row vs GS-DRAM gathered addressing).
+        layout: PatternLayout,
+    },
     /// §5.3 graph node updates.
     GraphUpdates {
         /// Node-array layout.
@@ -352,6 +361,9 @@ impl WorkloadSpec {
                 field,
             } => {
                 format!("graph-scan {} nodes={nodes} field={field}", layout.label())
+            }
+            WorkloadSpec::Pattern { spec, layout } => {
+                format!("pattern {} layout={}", spec.describe(), layout.label())
             }
             WorkloadSpec::GraphUpdates {
                 layout,
@@ -618,6 +630,35 @@ impl RunSpec {
                 let mut p = graph_updates(g, *count, *seed);
                 let r = run_all(&mut m, &mut p);
                 assert_eq!(r.progress[0], *count, "{}: all updates must land", self.id);
+                r
+            }
+            WorkloadSpec::Pattern { spec, layout } => {
+                let c = Compiled::new(spec.clone());
+                let data = c.create(&mut m, *layout);
+                let mut p = c.program(*layout, data);
+                let r = run_all(&mut m, &mut p);
+                assert_eq!(
+                    r.progress[0],
+                    c.expected_units(),
+                    "{}: all pattern accesses must complete",
+                    self.id
+                );
+                assert_eq!(
+                    r.results[0],
+                    c.expected_sum(),
+                    "{}: pattern checksum mismatch",
+                    self.id
+                );
+                m.drain_caches();
+                for (addr, want) in c.expected_finals(data) {
+                    assert_eq!(
+                        m.peek(addr),
+                        want,
+                        "{}: scatter final value at {addr:#x}",
+                        self.id
+                    );
+                }
+                extra.push(("accesses".into(), c.count() as f64));
                 r
             }
         };

@@ -39,6 +39,37 @@ fn fig10_json_matches_pre_refactor_baseline() {
     );
 }
 
+/// The pattern-engine experiments have their own committed baselines
+/// (under `crates/bench/tests/baselines/`, generated at the
+/// perf-quick pinned sizes): the stride sweep's speedup column IS the
+/// paper-extending claim — gains track the largest power-of-two
+/// factor of the stride, capped at 8 — so a byte must not move
+/// without a review diff (CI's pattern-smoke job diffs the CLI output
+/// against the same files).
+#[test]
+fn pattern_stride_sweep_json_matches_committed_baseline() {
+    let def = find("pattern_stride_sweep").expect("registered");
+    let args = Args::new(["--accesses", "512"]);
+    let node = run_experiment(def, &args);
+    let want = include_str!("baselines/pattern_stride_sweep_small.json");
+    assert!(
+        node.to_json_pretty() == want,
+        "pattern_stride_sweep JSON drifted from crates/bench/tests/baselines/pattern_stride_sweep_small.json"
+    );
+}
+
+#[test]
+fn pattern_indirect_json_matches_committed_baseline() {
+    let def = find("pattern_indirect").expect("registered");
+    let args = Args::new(["--accesses", "512", "--elements", "8192"]);
+    let node = run_experiment(def, &args);
+    let want = include_str!("baselines/pattern_indirect_small.json");
+    assert!(
+        node.to_json_pretty() == want,
+        "pattern_indirect JSON drifted from crates/bench/tests/baselines/pattern_indirect_small.json"
+    );
+}
+
 fn summary_child<'a>(root: &'a StatsNode, config: &str) -> &'a StatsNode {
     let summary = root
         .children()

@@ -6,8 +6,8 @@ use gsdram_bench::args::Args;
 use gsdram_bench::experiments::{find, run_experiment, run_experiment_traced};
 use gsdram_bench::spec::{MachineSpec, RunSpec, WorkloadSpec};
 use gsdram_bench::sweep::{run_parallel, run_serial, run_traced, SweepMode};
+use gsdram_core::json::Json;
 use gsdram_core::stats::StatsNode;
-use gsdram_telemetry::json::Json;
 use gsdram_workloads::imdb::{Layout, TxnSpec};
 
 fn small_specs() -> Vec<RunSpec> {
@@ -142,6 +142,45 @@ fn repeated_runs_are_byte_identical() {
     let (t1, _) = run_experiment_traced(def, &args, 2048);
     let (t2, _) = run_experiment_traced(def, &args, 2048);
     assert_eq!(t1.to_json_pretty(), t2.to_json_pretty());
+}
+
+/// The same proofs for the pattern engine: a pattern experiment run
+/// with `--serial` is byte-identical to the parallel run, and two
+/// identical invocations emit byte-identical JSON. The generators are
+/// seeded (SplitMix64 over the spec's `seed`), so any nondeterminism
+/// here would mean the index streams themselves drifted.
+#[test]
+fn pattern_experiments_are_deterministic_serial_and_parallel() {
+    for (name, args) in [
+        (
+            "pattern_stride_sweep",
+            vec!["--accesses", "256", "--strides", "1,2,8"],
+        ),
+        (
+            "pattern_indirect",
+            vec!["--accesses", "256", "--elements", "4096"],
+        ),
+    ] {
+        let def = find(name).expect("registered");
+        let mut serial_args: Vec<&str> = args.clone();
+        serial_args.push("--serial");
+        let mut par_args: Vec<&str> = args.clone();
+        par_args.extend(["--threads", "4"]);
+        let serial = run_experiment(def, &Args::new(serial_args.clone()));
+        let parallel = run_experiment(def, &Args::new(par_args));
+        assert_eq!(serial, parallel, "{name}: serial vs parallel tree");
+        assert_eq!(
+            serial.to_json_pretty(),
+            parallel.to_json_pretty(),
+            "{name}: serial vs parallel JSON bytes"
+        );
+        let again = run_experiment(def, &Args::new(serial_args));
+        assert_eq!(
+            serial.to_json_pretty(),
+            again.to_json_pretty(),
+            "{name}: two runs must be byte-identical"
+        );
+    }
 }
 
 /// Every value kind an experiment emits (counters, gauges, text,

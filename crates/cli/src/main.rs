@@ -7,6 +7,8 @@
 //! gsdram-sim sweep --list
 //! gsdram-sim trace <experiment> [--run SUBSTR | --all] [--out PATH]
 //!                  [--hist] [--trace-cap N]
+//! gsdram-sim pattern <file.json|builtin> [--layout row|gs-dram]
+//! gsdram-sim pattern --list
 //!
 //! Workloads:
 //!   transactions   DB transactions (--layout, --txns, --mix r-w-rw)
@@ -16,6 +18,11 @@
 //!   kvstore        key-value lookups/inserts (--layout plain|gs)
 //!   graph          node scans/updates (--layout plain|gs)
 //!   replay         replay a trace (--file T [--alloc BYTES --pattern P])
+//!   pattern        compile and run a gsdram-patterns spec — a JSON
+//!                  file (see examples/patterns/), a builtin name, or
+//!                  --pattern NAME / --pattern-file PATH; runs both
+//!                  layouts unless --layout row|gs-dram selects one;
+//!                  --list shows builtins + example files
 //!   sweep          run a registered experiment (fig9, fig13, ...) in
 //!                  parallel; --serial / --threads N control execution,
 //!                  --json PATH writes the full stats tree,
@@ -49,8 +56,9 @@ use std::process::ExitCode;
 
 use gsdram_bench::args::Args;
 use gsdram_bench::experiments;
-use gsdram_bench::spec::{MachineSpec, RunSpec};
+use gsdram_bench::spec::{MachineSpec, RunSpec, WorkloadSpec};
 use gsdram_core::stats::ReportStats;
+use gsdram_patterns::{builtin, PatternLayout, PatternSpec, BUILTIN_NAMES};
 use gsdram_system::config::SystemConfig;
 use gsdram_system::machine::{Machine, RunReport, StopWhen};
 use gsdram_system::ops::Program;
@@ -260,11 +268,119 @@ fn trace(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Every way to name a pattern spec, for the not-found error: the
+/// builtins plus any `examples/patterns/*.json` next to the
+/// invocation directory — the same list-on-miss shape as
+/// `experiments::resolve`.
+fn pattern_listing() -> String {
+    let mut msg = String::from("available pattern specs:\n");
+    for name in BUILTIN_NAMES {
+        msg.push_str(&format!("  {name:<22} builtin\n"));
+    }
+    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir("examples/patterns")
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    files.sort();
+    for f in files {
+        msg.push_str(&format!("  {}\n", f.display()));
+    }
+    msg.truncate(msg.trim_end().len());
+    msg
+}
+
+/// Resolves a pattern-spec argument: builtin names first, then a JSON
+/// file path. Misses and parse failures list everything available.
+fn load_pattern_spec(arg: &str) -> Result<PatternSpec, String> {
+    if let Some(spec) = builtin(arg) {
+        return Ok(spec);
+    }
+    let text = std::fs::read_to_string(arg).map_err(|e| {
+        format!(
+            "cannot read pattern spec '{arg}': {e}\n{}",
+            pattern_listing()
+        )
+    })?;
+    PatternSpec::parse(&text).map_err(|e| format!("{arg}: {e}\n{}", pattern_listing()))
+}
+
+/// `gsdram-sim pattern <file|name>`: compile a spec and run it end to
+/// end — both layouts by default, so the row-vs-GS-DRAM comparison is
+/// one command.
+fn pattern_cmd(args: &Args) -> ExitCode {
+    if args.flag("--list") {
+        println!("{}", pattern_listing());
+        return ExitCode::SUCCESS;
+    }
+    let arg = args
+        .value("--pattern-file")
+        .or_else(|| args.value("--pattern"))
+        .or_else(|| args.positional_at(1).map(str::to_owned));
+    let Some(arg) = arg else {
+        eprintln!("usage: gsdram-sim pattern <file.json|builtin> [--layout row|gs-dram]");
+        eprintln!("       gsdram-sim pattern --list");
+        eprintln!("{}", pattern_listing());
+        return ExitCode::FAILURE;
+    };
+    let spec = match load_pattern_spec(&arg) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let layouts: Vec<PatternLayout> = match args.value("--layout") {
+        Some(s) => match PatternLayout::parse(&s) {
+            Some(l) => vec![l],
+            None => {
+                eprintln!("error: unknown --layout '{s}' (try row, gs-dram)");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => vec![PatternLayout::Row, PatternLayout::GsDram],
+    };
+    let mut cycles: Vec<(PatternLayout, u64)> = Vec::new();
+    for layout in layouts {
+        let rs = RunSpec {
+            id: format!("pattern/{}/{}", spec.name, layout.label()),
+            machine: MachineSpec::table1(1, spec.mem_bytes_hint()).with_args(args),
+            workload: WorkloadSpec::Pattern {
+                spec: spec.clone(),
+                layout,
+            },
+        };
+        let cfg = rs.machine.config();
+        let o = rs.execute();
+        print_report(
+            &format!("pattern {} layout={}", spec.describe(), layout.label()),
+            &o.report,
+            &cfg,
+        );
+        if let Err(e) = maybe_write_json(args, "pattern", &o.report) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        cycles.push((layout, o.report.cpu_cycles));
+    }
+    if let [(_, row), (_, gs)] = cycles.as_slice() {
+        println!(
+            "speedup           {:>14.3}  (row {} / gs-dram {} cycles)",
+            *row as f64 / *gs as f64,
+            row,
+            gs
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = Args::from_env();
     let Some(workload) = args.positional().map(str::to_owned) else {
         eprintln!(
-            "usage: gsdram-sim <transactions|analytics|htap|gemm|kvstore|graph|replay|sweep|trace> [options]"
+            "usage: gsdram-sim <transactions|analytics|htap|gemm|kvstore|graph|replay|pattern|sweep|trace> [options]"
         );
         eprintln!("run with a workload name; see crate docs for options");
         return ExitCode::FAILURE;
@@ -274,6 +390,9 @@ fn main() -> ExitCode {
     }
     if workload == "trace" {
         return trace(&args);
+    }
+    if workload == "pattern" {
+        return pattern_cmd(&args);
     }
     let tuples = args.u64("--tuples", 65_536);
     let seed = args.u64("--seed", 42);

@@ -1,8 +1,9 @@
 //! A minimal generic JSON value parser.
 //!
-//! `gsdram-core::stats` ships a JSON codec, but its parser only reads
-//! the stats-tree schema (`{"name", "values", "children"}`). Validating
-//! Chrome trace output needs arbitrary JSON values, and the build is
+//! The [`stats`](crate::stats) module ships a JSON codec, but its
+//! parser only reads the stats-tree schema (`{"name", "values",
+//! "children"}`). Validating Chrome trace output, perf reports, and
+//! pattern-spec files needs arbitrary JSON values, and the build is
 //! fully self-contained (no serde offline), so this module provides a
 //! small recursive-descent parser in the same hand-rolled style. It is
 //! a *reader* only — the exporters write their JSON directly.
@@ -30,6 +31,7 @@ impl Json {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -52,6 +54,19 @@ impl Json {
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as an exact unsigned integer: a number with no
+    /// fractional part in `[0, 2^53]` (JSON's interoperable integer
+    /// range). Consumers that must stay float-free (the pattern-spec
+    /// parser in `gsdram-patterns`, under lint rule D5) read numbers
+    /// through this instead of [`Json::as_f64`].
+    pub fn as_u64(&self) -> Option<u64> {
+        const MAX_EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+        match self {
+            Json::Num(n) if *n >= 0.0 && *n <= MAX_EXACT && n.fract() == 0.0 => Some(*n as u64),
             _ => None,
         }
     }
@@ -98,9 +113,18 @@ impl std::fmt::Display for JsonParseError {
 
 impl std::error::Error for JsonParseError {}
 
+/// Maximum container nesting the parser accepts. Recursive descent
+/// burns one stack frame per `[`/`{`, so unbounded depth lets a
+/// hostile document (e.g. a pattern-spec file of 100k open brackets)
+/// overflow the stack instead of returning an error. Real inputs here
+/// (stats trees, Chrome traces, perf reports, pattern specs) nest a
+/// handful of levels.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -226,11 +250,13 @@ impl<'a> Parser<'a> {
             Some(b'"') => self.string().map(Json::Str),
             Some(b'[') => {
                 self.pos += 1;
+                self.descend()?;
                 let mut items = Vec::new();
                 loop {
                     self.skip_ws();
                     if self.peek() == Some(b']') {
                         self.pos += 1;
+                        self.depth -= 1;
                         return Ok(Json::Arr(items));
                     }
                     if !items.is_empty() {
@@ -241,11 +267,13 @@ impl<'a> Parser<'a> {
             }
             Some(b'{') => {
                 self.pos += 1;
+                self.descend()?;
                 let mut members = Vec::new();
                 loop {
                     self.skip_ws();
                     if self.peek() == Some(b'}') {
                         self.pos += 1;
+                        self.depth -= 1;
                         return Ok(Json::Obj(members));
                     }
                     if !members.is_empty() {
@@ -262,6 +290,14 @@ impl<'a> Parser<'a> {
             Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
             _ => Err(self.err("expected a JSON value")),
         }
+    }
+
+    fn descend(&mut self) -> Result<(), JsonParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting deeper than 128 levels"));
+        }
+        Ok(())
     }
 }
 
@@ -293,6 +329,19 @@ mod tests {
         assert!(Json::parse("[1,]").is_err());
         assert!(Json::parse("{}junk").is_err());
         assert!(Json::parse("nul").is_err());
+    }
+
+    #[test]
+    fn depth_is_bounded_not_stack_fatal() {
+        // Shallow nesting (well past any real document) parses.
+        let ok = format!("{}0{}", "[".repeat(100), "]".repeat(100));
+        assert!(Json::parse(&ok).is_ok());
+        // Hostile depth is an error, not a stack overflow.
+        let deep = format!("{}{}", "[".repeat(100_000), "]".repeat(100_000));
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        let objs = "{\"k\":".repeat(100_000);
+        assert!(Json::parse(&objs).is_err());
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod ctl;
 pub mod ecc;
 mod error;
 mod ids;
+pub mod json;
 pub mod mat;
 mod module;
 pub mod plan;

@@ -30,7 +30,7 @@ pub struct FileClass {
 /// The simulation crates: everything whose behaviour feeds figure
 /// output. Rules D1/D5 scope to these (plus `telemetry`, which folds
 /// the observer stream into report subtrees).
-pub const SIM_CRATES: &[&str] = &["core", "dram", "cache", "system", "workloads"];
+pub const SIM_CRATES: &[&str] = &["core", "dram", "cache", "system", "workloads", "patterns"];
 
 impl FileClass {
     /// Classifies a workspace-relative path (unix separators).

@@ -1,0 +1,112 @@
+//! Named builtin specs: a spec for each generator family, usable from
+//! `gsdram-sim pattern <name>` / `--pattern <name>` without a file.
+
+use crate::spec::{AccessOp, Generator, PatternSpec};
+
+/// Names [`builtin`] resolves, in display order.
+pub const BUILTIN_NAMES: &[&str] = &[
+    "stride2",
+    "stride8",
+    "stride7",
+    "mostly-stride",
+    "stride-gap",
+    "window-random",
+    "indirect",
+    "dup-scatter",
+];
+
+/// The builtin spec of that name, if any.
+pub fn builtin(name: &str) -> Option<PatternSpec> {
+    const ELEMENTS: u64 = 65536;
+    let (op, pattern) = match name {
+        "stride2" => (
+            AccessOp::Gather,
+            Generator::Stride {
+                stride: 2,
+                count: ELEMENTS / 2,
+                start: 0,
+            },
+        ),
+        "stride8" => (
+            AccessOp::Gather,
+            Generator::Stride {
+                stride: 8,
+                count: ELEMENTS / 8,
+                start: 0,
+            },
+        ),
+        "stride7" => (
+            AccessOp::Gather,
+            Generator::Stride {
+                stride: 7,
+                count: ELEMENTS / 7,
+                start: 0,
+            },
+        ),
+        "mostly-stride" => (
+            AccessOp::Gather,
+            Generator::MostlyStride {
+                stride: 8,
+                count: ELEMENTS / 8,
+                deviate_pct: 10,
+            },
+        ),
+        "stride-gap" => (
+            AccessOp::Gather,
+            Generator::StrideGap {
+                block: 16,
+                gap: 48,
+                count: ELEMENTS / 64 * 16,
+            },
+        ),
+        "window-random" => (
+            AccessOp::Gather,
+            Generator::WindowRandom {
+                window: 4096,
+                count: 8192,
+            },
+        ),
+        "indirect" => (
+            AccessOp::Gather,
+            Generator::Indirect {
+                count: 8192,
+                range: ELEMENTS,
+                dup_pct: 0,
+                indices: None,
+            },
+        ),
+        "dup-scatter" => (
+            AccessOp::Scatter,
+            Generator::Indirect {
+                count: 8192,
+                range: ELEMENTS,
+                dup_pct: 50,
+                indices: None,
+            },
+        ),
+        _ => return None,
+    };
+    Some(PatternSpec {
+        name: name.to_string(),
+        elements: ELEMENTS,
+        seed: 42,
+        op,
+        pattern,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_builtin_validates_and_round_trips() {
+        for name in BUILTIN_NAMES {
+            let spec = builtin(name).unwrap();
+            spec.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            let again = PatternSpec::parse(&spec.to_json_string()).unwrap();
+            assert_eq!(spec, again, "{name}");
+        }
+        assert!(builtin("nope").is_none());
+    }
+}

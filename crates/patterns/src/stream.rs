@@ -1,0 +1,212 @@
+//! Materialization: a [`PatternSpec`] becomes a concrete, seeded
+//! [`AccessStream`] of word indices — the single source of truth both
+//! the op-stream compiler and the expected-checksum calculation
+//! replay, so they cannot drift apart.
+
+use gsdram_workloads::common::SplitMix;
+
+use crate::spec::{Generator, PatternSpec};
+
+/// The GS-DRAM gather stride usable for a uniform software stride:
+/// the largest power of two dividing `stride`, capped at the chip
+/// count (8). A result of 1 means the in-DRAM mechanism has nothing
+/// to offer — pattern-ID translation only realigns power-of-two
+/// strides (paper §3.3), which is exactly the collapse the
+/// non-power-of-2 specs measure.
+pub fn gather_q(stride: u64) -> u64 {
+    if stride == 0 {
+        return 1;
+    }
+    (stride & stride.wrapping_neg()).min(8)
+}
+
+/// A materialized access stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessStream {
+    /// Word index of each access, in program order.
+    pub indices: Vec<u64>,
+    /// Per access: does it conform to the spec's uniform stride? Only
+    /// conforming accesses may compile to gathered ops.
+    pub conforms: Vec<bool>,
+    /// The gather stride `Q` conforming accesses share (1 = none; the
+    /// gathered ops use pattern `Q − 1`).
+    pub q: u64,
+    /// Whether the stream is indirect: the indices themselves live in
+    /// simulated memory and each access loads `idx[t]` first.
+    pub indirect: bool,
+}
+
+/// Materializes the spec's index stream (deterministic in the seed).
+pub fn materialize(spec: &PatternSpec) -> AccessStream {
+    let mut rng = SplitMix(spec.seed);
+    match &spec.pattern {
+        Generator::Stride {
+            stride,
+            count,
+            start,
+        } => {
+            let indices: Vec<u64> = (0..*count).map(|t| start + t * stride).collect();
+            let conforms = vec![true; indices.len()];
+            AccessStream {
+                indices,
+                conforms,
+                q: gather_q(*stride),
+                indirect: false,
+            }
+        }
+        Generator::MostlyStride {
+            stride,
+            count,
+            deviate_pct,
+        } => {
+            let mut indices = Vec::with_capacity(*count as usize);
+            let mut conforms = Vec::with_capacity(*count as usize);
+            for t in 0..*count {
+                if rng.below(100) < *deviate_pct {
+                    indices.push(rng.below(spec.elements));
+                    conforms.push(false);
+                } else {
+                    indices.push(t * stride);
+                    conforms.push(true);
+                }
+            }
+            AccessStream {
+                indices,
+                conforms,
+                q: gather_q(*stride),
+                indirect: false,
+            }
+        }
+        Generator::StrideGap { block, gap, count } => {
+            let indices: Vec<u64> = (0..*count)
+                .map(|t| (t / block) * (block + gap) + t % block)
+                .collect();
+            let conforms = vec![false; indices.len()];
+            AccessStream {
+                indices,
+                conforms,
+                q: 1,
+                indirect: false,
+            }
+        }
+        Generator::WindowRandom { window, count } => {
+            let indices: Vec<u64> = (0..*count).map(|_| rng.below(*window)).collect();
+            let conforms = vec![false; indices.len()];
+            AccessStream {
+                indices,
+                conforms,
+                q: 1,
+                indirect: false,
+            }
+        }
+        Generator::Indirect {
+            count,
+            range,
+            dup_pct,
+            indices,
+        } => {
+            let indices: Vec<u64> = match indices {
+                Some(v) => v.clone(),
+                None => {
+                    let mut v: Vec<u64> = Vec::with_capacity(*count as usize);
+                    for t in 0..*count {
+                        if t > 0 && rng.below(100) < *dup_pct {
+                            let back = rng.below(t) as usize;
+                            v.push(v[back]);
+                        } else {
+                            v.push(rng.below(*range));
+                        }
+                    }
+                    v
+                }
+            };
+            let conforms = vec![false; indices.len()];
+            AccessStream {
+                indices,
+                conforms,
+                q: 1,
+                indirect: true,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::PatternSpec;
+
+    fn spec(text: &str) -> PatternSpec {
+        PatternSpec::parse(text).unwrap()
+    }
+
+    #[test]
+    fn gather_q_is_the_capped_pow2_divisor() {
+        let cases = [
+            (1, 1),
+            (2, 2),
+            (3, 1),
+            (4, 4),
+            (6, 2),
+            (8, 8),
+            (12, 4),
+            (16, 8),
+            (32, 8),
+            (64, 8),
+            (7, 1),
+        ];
+        for (stride, q) in cases {
+            assert_eq!(gather_q(stride), q, "stride {stride}");
+        }
+    }
+
+    #[test]
+    fn materialization_is_seed_deterministic() {
+        let s = spec(
+            r#"{"elements": 4096, "seed": 9,
+                "pattern": {"type": "indirect", "count": 512, "dup_pct": 30}}"#,
+        );
+        assert_eq!(materialize(&s), materialize(&s));
+        let other = PatternSpec {
+            seed: 10,
+            ..s.clone()
+        };
+        assert_ne!(materialize(&other).indices, materialize(&s).indices);
+    }
+
+    #[test]
+    fn streams_stay_in_bounds() {
+        let texts = [
+            r#"{"elements": 4096, "pattern": {"type": "stride", "stride": 6}}"#,
+            r#"{"elements": 4096, "pattern": {"type": "mostly-stride", "stride": 8,
+                "deviate_pct": 50}}"#,
+            r#"{"elements": 4096, "pattern": {"type": "stride-gap", "block": 5, "gap": 11}}"#,
+            r#"{"elements": 4096, "pattern": {"type": "window-random", "window": 128}}"#,
+            r#"{"elements": 4096, "pattern": {"type": "indirect", "count": 999, "dup_pct": 80}}"#,
+        ];
+        for text in texts {
+            let s = spec(text);
+            let st = materialize(&s);
+            assert_eq!(st.indices.len(), s.pattern.count() as usize);
+            assert!(st.indices.iter().all(|w| *w < s.elements), "{text}");
+        }
+    }
+
+    #[test]
+    fn duplicates_appear_when_requested() {
+        let s = spec(
+            r#"{"elements": 4096,
+                "pattern": {"type": "indirect", "count": 1024, "dup_pct": 50}}"#,
+        );
+        let st = materialize(&s);
+        let mut sorted = st.indices.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert!(
+            sorted.len() < st.indices.len() * 3 / 4,
+            "expected heavy duplication, got {} distinct of {}",
+            sorted.len(),
+            st.indices.len()
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Seeded adversarial fuzzing of the pattern-spec parser.
+//!
+//! The parser fronts user-supplied files (`gsdram-sim pattern
+//! <file>`), so it must reject hostile input with a `SpecError`, never
+//! a panic. Three seeded corpora drive it well past the 256-input
+//! acceptance floor: byte-level mutations of every builtin's canonical
+//! JSON, random printable garbage, and hand-built structurally hostile
+//! documents. Whenever the parser *accepts* an input, the accepted
+//! spec must survive the canonical round-trip and (when small enough
+//! to afford it) materialise an in-bounds index stream.
+
+use gsdram_core::rng::SplitMix;
+use gsdram_patterns::{builtin, materialize, PatternSpec, BUILTIN_NAMES};
+
+/// Parse must return `Ok` or `Err` — anything else is a test failure
+/// by panic. Accepted specs are pushed through the round-trip and a
+/// bounded materialisation so "accepted" also means "usable".
+fn probe(input: &str) {
+    if let Ok(spec) = PatternSpec::parse(input) {
+        let back = PatternSpec::parse(&spec.to_json_string())
+            .expect("canonical form of an accepted spec must re-parse");
+        assert_eq!(spec, back, "round-trip must be lossless");
+        if spec.pattern.count() <= 4096 {
+            let stream = materialize(&spec);
+            assert!(stream.indices.iter().all(|&w| w < spec.elements));
+        }
+    }
+}
+
+/// Byte-level mutations of valid specs: flips, splices, truncations,
+/// and digit storms at seeded positions.
+#[test]
+fn mutated_builtin_specs_never_panic() {
+    let mut rng = SplitMix(0xF422);
+    let corpus: Vec<String> = BUILTIN_NAMES
+        .iter()
+        .map(|n| builtin(n).expect("builtin exists").to_json_string())
+        .collect();
+    let mut probes = 0usize;
+    for base in &corpus {
+        for _ in 0..48 {
+            let mut bytes = base.clone().into_bytes();
+            match rng.below(5) {
+                // Overwrite one byte with printable garbage.
+                0 => {
+                    let at = rng.below(bytes.len() as u64) as usize;
+                    bytes[at] = 32 + (rng.below(95) as u8);
+                }
+                // Delete a byte.
+                1 => {
+                    let at = rng.below(bytes.len() as u64) as usize;
+                    bytes.remove(at);
+                }
+                // Insert a structural character.
+                2 => {
+                    let at = rng.below(bytes.len() as u64 + 1) as usize;
+                    let ch = b"{}[],:\"-0123456789eE."[rng.below(21) as usize];
+                    bytes.insert(at, ch);
+                }
+                // Truncate.
+                3 => {
+                    bytes.truncate(rng.below(bytes.len() as u64) as usize);
+                }
+                // Blow up a number with extra digits.
+                _ => {
+                    if let Some(at) = bytes.iter().position(|b| b.is_ascii_digit()) {
+                        for _ in 0..rng.range(1, 30) {
+                            bytes.insert(at, b'0' + (rng.below(10) as u8));
+                        }
+                    }
+                }
+            }
+            probe(&String::from_utf8_lossy(&bytes));
+            probes += 1;
+        }
+    }
+    assert!(probes >= 256, "fuzz floor: ran only {probes} mutations");
+}
+
+/// Random printable strings: almost all invalid JSON, none may panic.
+#[test]
+fn random_garbage_never_panics() {
+    let mut rng = SplitMix(0xBEEF);
+    for _ in 0..256 {
+        let len = rng.below(200) as usize;
+        let s: String = (0..len)
+            .map(|_| char::from(32 + (rng.below(95) as u8)))
+            .collect();
+        probe(&s);
+    }
+}
+
+/// Structurally hostile documents: boundary numbers, wrong types,
+/// deep nesting, overflow-bait arithmetic, duplicate and unknown
+/// keys, embedded escapes.
+#[test]
+fn hostile_structures_never_panic() {
+    let deep_open = "[".repeat(4000);
+    let deep_close = "]".repeat(4000);
+    let big_indices = format!(
+        "{{\"elements\": 64, \"pattern\": {{\"type\": \"indirect\", \"indices\": [{}]}}}}",
+        vec!["63"; 5000].join(",")
+    );
+    let cases: Vec<String> = [
+        "",
+        " ",
+        "null",
+        "0",
+        "[]",
+        "{}",
+        "{\"elements\": 18446744073709551615, \"pattern\": {\"type\": \"stride\"}}",
+        "{\"elements\": 9007199254740993, \"pattern\": {\"type\": \"stride\"}}",
+        "{\"elements\": -64, \"pattern\": {\"type\": \"stride\"}}",
+        "{\"elements\": 64.5, \"pattern\": {\"type\": \"stride\"}}",
+        "{\"elements\": 1e30, \"pattern\": {\"type\": \"stride\"}}",
+        "{\"elements\": \"64\", \"pattern\": {\"type\": \"stride\"}}",
+        "{\"elements\": 64, \"pattern\": \"stride\"}",
+        "{\"elements\": 64, \"pattern\": {\"type\": \"stride\", \"stride\": 18446744073709551615}}",
+        "{\"elements\": 64, \"pattern\": {\"type\": \"stride\", \"start\": 18446744073709551615}}",
+        "{\"elements\": 64, \"pattern\": {\"type\": \"stride-gap\", \"block\": 4294967296, \"gap\": 4294967296}}",
+        "{\"elements\": 64, \"pattern\": {\"type\": \"indirect\", \"indices\": [null]}}",
+        "{\"elements\": 64, \"pattern\": {\"type\": \"indirect\", \"indices\": 7}}",
+        "{\"elements\": 64, \"pattern\": {\"type\": \"indirect\", \"dup_pct\": 18446744073709551615}}",
+        "{\"elements\": 64, \"seed\": -1, \"pattern\": {\"type\": \"stride\"}}",
+        "{\"elements\": 64, \"name\": \"\\u0000\\\"\\\\\", \"pattern\": {\"type\": \"stride\"}}",
+        "{\"elements\": 64, \"elements\": 128, \"pattern\": {\"type\": \"stride\"}}",
+        "{\"elements\": 64, \"pattern\": {\"type\": \"stride\"}, \"pattern\": {\"type\": \"wat\"}}",
+        "{\"elements\": 64, \"op\": \"gather\", \"op\": \"scatter\", \"pattern\": {\"type\": \"stride\"}}",
+        "{\"elements\": 64, \"pattern\": {\"type\": \"Stride\"}}",
+        "{\"elements\": 64, \"pattern\": {\"type\": \"stride\", \"type\": \"indirect\"}}",
+    ]
+    .into_iter()
+    .map(str::to_owned)
+    .chain([
+        format!("{deep_open}{deep_close}"),
+        format!("{{\"elements\": 64, \"pattern\": {deep_open}{deep_close}}}"),
+        big_indices,
+    ])
+    .collect();
+    for case in &cases {
+        probe(case);
+    }
+    // Every builtin itself must parse and round-trip, as the sanity
+    // anchor for the corpus above.
+    for name in BUILTIN_NAMES {
+        let spec = builtin(name).expect("builtin exists");
+        probe(&spec.to_json_string());
+    }
+}

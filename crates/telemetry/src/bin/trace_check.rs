@@ -20,7 +20,7 @@
 
 use std::process::ExitCode;
 
-use gsdram_telemetry::json::Json;
+use gsdram_core::json::Json;
 
 fn check(text: &str) -> Result<String, String> {
     let doc = Json::parse(text).map_err(|e| e.to_string())?;

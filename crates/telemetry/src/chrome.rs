@@ -195,7 +195,7 @@ pub fn chrome_trace(runs: &[(String, &Telemetry)]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::json::Json;
+    use gsdram_core::json::Json;
     use gsdram_core::PatternId;
 
     fn capture() -> Telemetry {

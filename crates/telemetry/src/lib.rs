@@ -17,9 +17,10 @@
 //!   occupancy timeline;
 //! * [`chrome`] — an exporter to Chrome trace-event JSON, loadable in
 //!   Perfetto (`ui.perfetto.dev`) or `chrome://tracing`;
-//! * [`json`] — a dep-free generic JSON value parser (the codec in
-//!   `gsdram-core::stats` only reads its own stats-tree schema), used
-//!   by the `gsdram-trace-check` binary and the trace tests.
+//!
+//! Generic JSON parsing lives in `gsdram_core::json` (promoted out of
+//! this crate so downstream crates don't reach into telemetry for a
+//! codec); the `gsdram-trace-check` binary and the trace tests use it.
 //!
 //! Everything here is observation-only: attaching a collector never
 //! changes simulated timing, and the figure JSON of an observed run is
@@ -53,7 +54,6 @@
 pub mod chrome;
 pub mod collector;
 pub mod hist;
-pub mod json;
 
 pub use chrome::chrome_trace;
 pub use collector::{Collector, DecisionStats, Telemetry, DEFAULT_CAPACITY};

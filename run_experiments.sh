@@ -22,12 +22,16 @@ ablation_shuffle
 ablation_patterns
 ablation_sectored
 ablation_scheduler
+ablation_sched
+ablation_mapping
 ablation_row_policy
 ablation_impulse
 extension_ecc
 extension_filter
 extension_transpose
 extras_kvstore_graph
+pattern_stride_sweep
+pattern_indirect
 "
 for exp in $EXPERIMENTS; do
     echo "=== $exp ==="
