@@ -35,6 +35,7 @@ use gsdram_workloads::kvstore::KvLayout;
 use gsdram_workloads::transpose::TransposeLayout;
 
 use crate::args::Args;
+use crate::listing;
 use crate::spec::{MachineSpec, RunOutcome, RunSpec, WorkloadSpec};
 use crate::sweep::{self, SweepMode};
 
@@ -186,18 +187,28 @@ pub fn names() -> Vec<&'static str> {
     REGISTRY.iter().map(|d| d.name).collect()
 }
 
+/// Every registry entry as a [`listing::Entry`] (name + title), in
+/// registration order — the rows behind [`resolve`]'s error and the
+/// binaries' `--list` output.
+pub fn listing_entries() -> Vec<listing::Entry> {
+    REGISTRY
+        .iter()
+        .map(|d| listing::Entry::new(d.name, d.title))
+        .collect()
+}
+
 /// Looks up an experiment by registry key, or returns an error listing
-/// the whole registry (name + title per line) — the one unknown-name
-/// message `sweep`, `trace` and the experiment binaries all share.
+/// the whole registry (name + title per line, plus a "did you mean"
+/// when a registered name is close) — the one unknown-name message
+/// `sweep`, `trace` and the experiment binaries all share.
 pub fn resolve(name: &str) -> Result<&'static ExperimentDef, String> {
     find(name).ok_or_else(|| {
-        use std::fmt::Write;
-        let mut msg = format!("unknown experiment '{name}'; registered experiments:\n");
-        for def in REGISTRY {
-            let _ = writeln!(msg, "  {:<22} {}", def.name, def.title);
-        }
-        msg.truncate(msg.trim_end().len());
-        msg
+        listing::unknown(
+            "experiment",
+            name,
+            "registered experiments",
+            &listing_entries(),
+        )
     })
 }
 
@@ -1757,6 +1768,8 @@ mod tests {
             assert!(err.contains(def.name), "listing misses {}", def.name);
             assert!(err.contains(def.title), "listing misses {}", def.title);
         }
+        let err = resolve("figg9").unwrap_err();
+        assert!(err.contains("did you mean 'fig9'"), "{err}");
     }
 
     #[test]

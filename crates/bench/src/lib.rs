@@ -3,7 +3,8 @@
 //! The experiment engine: declarative run specs ([`spec`]), a registry
 //! mapping every figure/ablation/extension of DESIGN.md §5–§6 to its
 //! specs ([`experiments`]), a parallel sweep runner ([`sweep`]), shared
-//! command-line parsing ([`args`]), the simulator-throughput harness
+//! command-line parsing ([`args`]), registry listing and "did you
+//! mean" errors ([`listing`]), the simulator-throughput harness
 //! ([`perf`]) behind `gsdram-bench perf`, and the micro-benchmark
 //! harness ([`micro`]) used by the `benches/` targets.
 
@@ -12,6 +13,7 @@
 
 pub mod args;
 pub mod experiments;
+pub mod listing;
 pub mod micro;
 pub mod perf;
 pub mod spec;

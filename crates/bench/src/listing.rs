@@ -1,0 +1,143 @@
+//! Shared registry listing and unknown-name errors.
+//!
+//! Both `experiments::resolve` and `gsdram-sim pattern --list` used to
+//! hand-roll their own "here is everything registered" enumeration;
+//! this module is the one renderer behind both, plus a "did you mean"
+//! suggestion so a typo points at the nearest registered name instead
+//! of a wall of options.
+
+use std::fmt::Write;
+
+/// One listable registry entry: a key plus an optional annotation
+/// (experiment title, "builtin", …).
+#[derive(Debug)]
+pub struct Entry {
+    /// The name the user types — what [`suggest`] matches against.
+    pub name: String,
+    /// Free-form annotation shown after the name; empty for none.
+    pub note: String,
+}
+
+impl Entry {
+    /// Builds an entry from anything string-like.
+    pub fn new(name: impl Into<String>, note: impl Into<String>) -> Entry {
+        Entry {
+            name: name.into(),
+            note: note.into(),
+        }
+    }
+}
+
+/// Renders `header:` followed by one aligned `  name  note` line per
+/// entry (no trailing newline).
+pub fn render(header: &str, entries: &[Entry]) -> String {
+    let mut msg = format!("{header}:\n");
+    for e in entries {
+        if e.note.is_empty() {
+            let _ = writeln!(msg, "  {}", e.name);
+        } else {
+            let _ = writeln!(msg, "  {:<22} {}", e.name, e.note);
+        }
+    }
+    msg.truncate(msg.trim_end().len());
+    msg
+}
+
+/// The unknown-name error: `unknown <what> '<given>'`, a "did you
+/// mean" when something registered is close, then the full listing
+/// under `header`.
+pub fn unknown(what: &str, given: &str, header: &str, entries: &[Entry]) -> String {
+    let mut msg = format!("unknown {what} '{given}'");
+    if let Some(s) = suggest(given, entries.iter().map(|e| e.name.as_str())) {
+        let _ = write!(msg, " — did you mean '{s}'?");
+    }
+    msg.push_str("; ");
+    msg.push_str(&render(header, entries));
+    msg
+}
+
+/// The registered name closest to `given`, when close enough to be a
+/// plausible typo (edit distance within roughly a third of the input,
+/// rounded up so a transposition in a short name still qualifies).
+/// Ties go to the earlier entry, so suggestions are deterministic.
+pub fn suggest<'a>(given: &str, names: impl Iterator<Item = &'a str>) -> Option<&'a str> {
+    let given_lc = given.to_ascii_lowercase();
+    let budget = given.chars().count().div_ceil(3).max(1);
+    let mut best: Option<(usize, &str)> = None;
+    for name in names {
+        let d = edit_distance(&given_lc, &name.to_ascii_lowercase());
+        if d <= budget && best.is_none_or(|(bd, _)| d < bd) {
+            best = Some((d, name));
+        }
+    }
+    best.map(|(_, name)| name)
+}
+
+/// Levenshtein distance over chars, single-row DP.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut prev = row[0];
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev + usize::from(ca != cb);
+            prev = row[j + 1];
+            row[j + 1] = sub.min(prev + 1).min(row[j] + 1);
+        }
+    }
+    row[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", "abd"), 1);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn suggests_only_plausible_typos() {
+        let names = ["fig4-throughput", "table2-energy", "strided-sweep"];
+        assert_eq!(
+            suggest("fig4-throughput", names.iter().copied()),
+            Some("fig4-throughput")
+        );
+        assert_eq!(
+            suggest("fig4-thruoghput", names.iter().copied()),
+            Some("fig4-throughput")
+        );
+        assert!(suggest("FIG4-THROUGHPUT", names.iter().copied()).is_some());
+        assert_eq!(suggest("nonsense", names.iter().copied()), None);
+    }
+
+    #[test]
+    fn renders_and_reports() {
+        let entries = [
+            Entry::new("alpha", "first letter"),
+            Entry::new("path/to/file.json", ""),
+        ];
+        let r = render("available things", &entries);
+        assert!(r.starts_with("available things:\n  alpha"));
+        assert!(r.contains("first letter"));
+        assert!(r.ends_with("path/to/file.json"), "{r:?}");
+        let u = unknown("thing", "alhpa", "available things", &entries);
+        assert!(
+            u.starts_with("unknown thing 'alhpa' — did you mean 'alpha'?"),
+            "{u}"
+        );
+        assert!(u.contains("available things:"));
+        let u = unknown("thing", "zzz", "available things", &entries);
+        assert!(
+            u.starts_with("unknown thing 'zzz'; available things:"),
+            "{u}"
+        );
+    }
+}

@@ -8,6 +8,7 @@
 //! [`run_serial`] (a property `crates/bench/tests/engine.rs` proves on
 //! real experiments).
 
+// gsdram-lint: allow(D8) the sweep runner is the one sanctioned parallel site; parallel ≡ serial is proven in tests/engine.rs
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use gsdram_telemetry::Telemetry;
@@ -36,6 +37,7 @@ impl SweepMode {
 }
 
 fn default_threads() -> usize {
+    // gsdram-lint: allow(D8) thread-count discovery only; never touches sim state
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -45,6 +47,7 @@ fn default_threads() -> usize {
 /// [`run_traced`]: workers claim indices from a shared counter and
 /// return `(index, result)` lists; the parent scatters them back into
 /// input order, so completion order never shows in the result.
+// gsdram-lint: allow-block(D8) the sanctioned parallel engine: workers claim indices off one counter, results scatter to input-order slots, bit-identical to serial per tests/engine.rs
 fn run_parallel_with<T: Send>(
     specs: &[RunSpec],
     threads: usize,

@@ -56,6 +56,7 @@ use std::process::ExitCode;
 
 use gsdram_bench::args::Args;
 use gsdram_bench::experiments;
+use gsdram_bench::listing;
 use gsdram_bench::spec::{MachineSpec, RunSpec, WorkloadSpec};
 use gsdram_core::stats::ReportStats;
 use gsdram_patterns::{builtin, PatternLayout, PatternSpec, BUILTIN_NAMES};
@@ -268,15 +269,15 @@ fn trace(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Every way to name a pattern spec, for the not-found error: the
-/// builtins plus any `examples/patterns/*.json` next to the
-/// invocation directory — the same list-on-miss shape as
+/// Every way to name a pattern spec, for `--list` and the not-found
+/// error: the builtins plus any `examples/patterns/*.json` next to the
+/// invocation directory — rendered by the same [`listing`] module as
 /// `experiments::resolve`.
-fn pattern_listing() -> String {
-    let mut msg = String::from("available pattern specs:\n");
-    for name in BUILTIN_NAMES {
-        msg.push_str(&format!("  {name:<22} builtin\n"));
-    }
+fn pattern_entries() -> Vec<listing::Entry> {
+    let mut entries: Vec<listing::Entry> = BUILTIN_NAMES
+        .iter()
+        .map(|name| listing::Entry::new(*name, "builtin"))
+        .collect();
     let mut files: Vec<std::path::PathBuf> = std::fs::read_dir("examples/patterns")
         .into_iter()
         .flatten()
@@ -285,25 +286,35 @@ fn pattern_listing() -> String {
         .filter(|p| p.extension().is_some_and(|x| x == "json"))
         .collect();
     files.sort();
-    for f in files {
-        msg.push_str(&format!("  {}\n", f.display()));
-    }
-    msg.truncate(msg.trim_end().len());
-    msg
+    entries.extend(
+        files
+            .iter()
+            .map(|f| listing::Entry::new(f.display().to_string(), "")),
+    );
+    entries
+}
+
+fn pattern_listing() -> String {
+    listing::render("available pattern specs", &pattern_entries())
 }
 
 /// Resolves a pattern-spec argument: builtin names first, then a JSON
-/// file path. Misses and parse failures list everything available.
+/// file path. Misses get the "did you mean" treatment against
+/// everything listable; parse failures list everything available.
 fn load_pattern_spec(arg: &str) -> Result<PatternSpec, String> {
     if let Some(spec) = builtin(arg) {
         return Ok(spec);
     }
-    let text = std::fs::read_to_string(arg).map_err(|e| {
-        format!(
-            "cannot read pattern spec '{arg}': {e}\n{}",
-            pattern_listing()
-        )
-    })?;
+    if !std::path::Path::new(arg).exists() {
+        return Err(listing::unknown(
+            "pattern spec",
+            arg,
+            "available pattern specs",
+            &pattern_entries(),
+        ));
+    }
+    let text = std::fs::read_to_string(arg)
+        .map_err(|e| format!("cannot read pattern spec '{arg}': {e}"))?;
     PatternSpec::parse(&text).map_err(|e| format!("{arg}: {e}\n{}", pattern_listing()))
 }
 

@@ -1,12 +1,18 @@
-//! A minimal generic JSON value parser.
+//! A minimal generic JSON value parser and writer.
 //!
 //! The [`stats`](crate::stats) module ships a JSON codec, but its
 //! parser only reads the stats-tree schema (`{"name", "values",
 //! "children"}`). Validating Chrome trace output, perf reports, and
 //! pattern-spec files needs arbitrary JSON values, and the build is
 //! fully self-contained (no serde offline), so this module provides a
-//! small recursive-descent parser in the same hand-rolled style. It is
-//! a *reader* only — the exporters write their JSON directly.
+//! small recursive-descent parser in the same hand-rolled style.
+//!
+//! The writer ([`Json::to_json_string`] / [`Json::to_json_pretty`])
+//! exists for consumers that need *byte-stable* output to diff in CI —
+//! `gsdram-lint --format json` and its committed waiver baseline.
+//! Object members serialize in their source order, so a caller that
+//! builds members from sorted keys gets deterministic bytes; the
+//! writer never reorders.
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,6 +99,117 @@ impl Json {
             Json::Obj(m) => Some(m),
             _ => None,
         }
+    }
+
+    /// Serializes compactly (no whitespace). Member order is preserved;
+    /// build members sorted if the output must be byte-stable.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes with two-space indentation, for committed files that
+    /// humans diff in review. No trailing newline; file writers append
+    /// their own.
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_number(out, *n),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                write_seq(out, indent, depth, items.len(), '[', ']', |out, i| {
+                    items[i].write(out, indent, depth + 1);
+                });
+            }
+            Json::Obj(members) => {
+                write_seq(out, indent, depth, members.len(), '{', '}', |out, i| {
+                    let (k, v) = &members[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                });
+            }
+        }
+    }
+}
+
+/// Writes one delimited sequence, indenting each element when `indent`
+/// is set.
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    len: usize,
+    open: char,
+    close: char,
+    mut elem: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (depth + 1)));
+        }
+        elem(out, i);
+    }
+    if len > 0 {
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * depth));
+        }
+    }
+    out.push(close);
+}
+
+/// Writes `s` as a quoted JSON string with the standard escapes —
+/// shared with the stats-tree exporter so every JSON the workspace
+/// emits escapes identically.
+pub fn write_escaped(out: &mut String, s: &str) {
+    use std::fmt::Write;
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes a number: exact integers (within the 2^53 interoperable
+/// range) without a fractional part, everything else via `f64`'s
+/// shortest-round-trip display, and non-finite values as `null` (JSON
+/// has no NaN/inf; schema-level encodings are the caller's business).
+fn write_number(out: &mut String, n: f64) {
+    use std::fmt::Write;
+    const MAX_EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() <= MAX_EXACT {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
     }
 }
 
@@ -348,5 +465,45 @@ mod tests {
     fn unicode_escapes_round_trip() {
         let v = Json::parse(r#""é\t""#).unwrap();
         assert_eq!(v.as_str(), Some("é\t"));
+    }
+
+    #[test]
+    fn writer_round_trips_through_the_parser() {
+        let v = Json::Obj(vec![
+            ("n".to_string(), Json::Num(42.0)),
+            ("half".to_string(), Json::Num(0.5)),
+            ("s".to_string(), Json::Str("a\"b\\c\nd\u{1}é".to_string())),
+            (
+                "arr".to_string(),
+                Json::Arr(vec![Json::Null, Json::Bool(true), Json::Obj(vec![])]),
+            ),
+            ("empty".to_string(), Json::Arr(vec![])),
+        ]);
+        for text in [v.to_json_string(), v.to_json_pretty()] {
+            assert_eq!(Json::parse(&text).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn writer_integers_have_no_fraction() {
+        assert_eq!(Json::Num(7.0).to_json_string(), "7");
+        assert_eq!(Json::Num(-3.0).to_json_string(), "-3");
+        assert_eq!(Json::Num(2.5).to_json_string(), "2.5");
+        assert_eq!(Json::Num(f64::NAN).to_json_string(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_json_string(), "null");
+    }
+
+    #[test]
+    fn writer_is_deterministic_and_order_preserving() {
+        let v = Json::Obj(vec![
+            ("b".to_string(), Json::Num(1.0)),
+            ("a".to_string(), Json::Num(2.0)),
+        ]);
+        // Source order is preserved (the caller sorts when stability
+        // across runs matters), and repeated serialization is
+        // byte-identical.
+        assert_eq!(v.to_json_string(), r#"{"b":1,"a":2}"#);
+        assert_eq!(v.to_json_string(), v.to_json_string());
+        assert_eq!(v.to_json_pretty(), "{\n  \"b\": 1,\n  \"a\": 2\n}");
     }
 }

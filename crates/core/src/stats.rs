@@ -276,21 +276,9 @@ pub trait ReportStats {
 }
 
 fn write_json_string(out: &mut String, s: &str) {
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
+    // One escaper for every JSON the workspace emits: the generic
+    // value writer in `json` owns the escape table.
+    crate::json::write_escaped(out, s);
 }
 
 /// Gauges always carry a `.`/`e` (or serialize as the special strings

@@ -1,0 +1,135 @@
+//! Machine-readable report output.
+//!
+//! CI byte-diffs lint output the same way it diffs figure baselines,
+//! so both documents here are *byte-stable*: objects are built from
+//! sorted maps (and the already-sorted violation list), serialized
+//! with the shared `gsdram_core::json` writer, and carry a schema tag
+//! so a future shape change is detectable instead of silent.
+
+use gsdram_core::json::Json;
+
+use crate::rules::{waiver_inventory, Report};
+use crate::scan::SourceFile;
+
+/// Schema tag of the findings document.
+pub const FINDINGS_SCHEMA: &str = "gsdram-lint/1";
+/// Schema tag of the committed waiver baseline.
+pub const WAIVERS_SCHEMA: &str = "gsdram-lint-waivers/1";
+
+/// The full report as a pretty JSON document (no trailing newline):
+/// scanned-file count, span-exact violations in report order, and the
+/// per-rule waiver inventory.
+pub fn findings_json(report: &Report, files: &[SourceFile]) -> String {
+    let violations = report
+        .violations
+        .iter()
+        .map(|v| {
+            Json::Obj(vec![
+                ("rule".to_string(), Json::Str(v.rule.to_string())),
+                ("file".to_string(), Json::Str(v.rel.clone())),
+                ("line".to_string(), Json::Num(f64::from(v.line))),
+                ("col".to_string(), Json::Num(f64::from(v.col))),
+                ("msg".to_string(), Json::Str(v.msg.clone())),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema".to_string(), Json::Str(FINDINGS_SCHEMA.to_string())),
+        ("files".to_string(), Json::Num(report.files as f64)),
+        ("violations".to_string(), Json::Arr(violations)),
+        ("waived".to_string(), Json::Num(report.waived as f64)),
+        ("waivers".to_string(), inventory_json(files)),
+    ])
+    .to_json_pretty()
+}
+
+/// The committed `lint_waivers.json` document (no trailing newline):
+/// rule D10's baseline. Regenerated with `--write-waivers` whenever
+/// the waiver set deliberately changes, so the diff shows in review.
+pub fn waivers_json(files: &[SourceFile]) -> String {
+    let total: usize = waiver_inventory(files)
+        .values()
+        .flat_map(|by_file| by_file.values())
+        .sum();
+    Json::Obj(vec![
+        ("schema".to_string(), Json::Str(WAIVERS_SCHEMA.to_string())),
+        ("rules".to_string(), inventory_json(files)),
+        ("total".to_string(), Json::Num(total as f64)),
+    ])
+    .to_json_pretty()
+}
+
+/// `rule → file → waiver count` as nested JSON objects, sorted on both
+/// levels (BTreeMap iteration order).
+fn inventory_json(files: &[SourceFile]) -> Json {
+    Json::Obj(
+        waiver_inventory(files)
+            .into_iter()
+            .map(|(rule, by_file)| {
+                (
+                    rule,
+                    Json::Obj(
+                        by_file
+                            .into_iter()
+                            .map(|(rel, n)| (rel, Json::Num(n as f64)))
+                            .collect(),
+                    ),
+                )
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::check_workspace;
+    use std::path::PathBuf;
+
+    fn file(rel: &str, src: &str) -> SourceFile {
+        SourceFile::parse(PathBuf::from(rel), rel.to_string(), src.to_string())
+    }
+
+    #[test]
+    fn findings_json_is_byte_stable_and_parses() {
+        let files = [
+            file(
+                "crates/core/src/a.rs",
+                "// gsdram-lint: allow(D4) fixture\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\nuse std::time::Instant;\n",
+            ),
+            file("crates/dram/src/b.rs", "use std::collections::HashMap;\n"),
+        ];
+        let report = check_workspace(&files, None, None);
+        let a = findings_json(&report, &files);
+        let b = findings_json(&check_workspace(&files, None, None), &files);
+        assert_eq!(a, b, "two runs must serialize identically");
+        let v = Json::parse(&a).expect("findings parse back");
+        assert_eq!(
+            v.get("schema").and_then(Json::as_str),
+            Some(FINDINGS_SCHEMA)
+        );
+        let viols = v.get("violations").and_then(Json::as_array).unwrap();
+        assert_eq!(viols.len(), report.violations.len());
+        assert_eq!(
+            viols[0].get("rule").and_then(Json::as_str),
+            Some(report.violations[0].rule)
+        );
+        assert_eq!(v.get("waived").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn waivers_json_matches_the_d10_reader() {
+        // What `--write-waivers` emits must satisfy the D10 audit of
+        // the same tree: generate → check is always clean.
+        let files = [file(
+            "crates/core/src/a.rs",
+            "// gsdram-lint: allow(D4) fixture\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        )];
+        let baseline = waivers_json(&files);
+        let report = check_workspace(&files, None, Some(&baseline));
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        let v = Json::parse(&baseline).unwrap();
+        assert_eq!(v.get("schema").and_then(Json::as_str), Some(WAIVERS_SCHEMA));
+        assert_eq!(v.get("total").and_then(Json::as_u64), Some(1));
+    }
+}

@@ -1,0 +1,923 @@
+//! Item-level structural parser over the span-exact token stream.
+//!
+//! The per-line rules (D1–D7) only need tokens; the structural rules
+//! (D8 concurrency-determinism, D9 merge-totality) need to know *what
+//! item* a token belongs to: which struct owns which fields, which
+//! `impl` block carries which methods, what a method's receiver and
+//! parameters are. This module parses the lexed token stream into a
+//! tree of [`Item`]s — `fn` / `struct` / `enum` / `impl` / `mod` /
+//! `use` / `trait` / `const` / `static` and friends — with byte-exact
+//! spans.
+//!
+//! The contract, pinned by `tests/items.rs` over the whole workspace
+//! corpus:
+//!
+//! * parsing never panics and always terminates;
+//! * sibling item spans are ordered and disjoint, and together they
+//!   cover **every** code token at their nesting level — unknown
+//!   syntax degrades to an [`ItemKind::Other`] item, never to a
+//!   skipped region (the same "scanned but unclassified" posture as
+//!   the lexer);
+//! * child items (methods in an `impl`, items in a `mod`) lie strictly
+//!   inside their parent's body span.
+//!
+//! Macro bodies (`macro_rules!` definitions and top-level macro
+//! invocations) are consumed opaquely: the tokens inside expand to
+//! arbitrary syntax, so treating them as items would invent structure
+//! the compiler never sees. Function bodies are recorded as opaque
+//! byte spans for the same reason — rules that care (D9) scan the
+//! span's tokens directly.
+
+use crate::lexer::TokKind;
+use crate::scan::SourceFile;
+
+/// What an item is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    Fn,
+    Struct,
+    Enum,
+    Union,
+    Trait,
+    Impl,
+    Mod,
+    Use,
+    Const,
+    Static,
+    TypeAlias,
+    /// `macro_rules!` / `macro` definition; body consumed opaquely.
+    MacroDef,
+    /// Item-position macro invocation (`thread_local! { ... }`).
+    MacroCall,
+    /// `extern "C" { ... }` block or `extern crate ...;`.
+    Extern,
+    /// Inner attribute (`#![...]`) or syntax the parser cannot
+    /// classify — consumed so spans stay total, never skipped.
+    Other,
+}
+
+/// A method's self parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Receiver {
+    /// Free function or associated function without `self`.
+    None,
+    /// `self` / `mut self`.
+    Owned,
+    /// `&self` / `&'a self`.
+    Ref,
+    /// `&mut self` / `&'a mut self`.
+    RefMut,
+}
+
+/// One named struct field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    pub name: String,
+    /// 1-based line of the field name.
+    pub line: u32,
+}
+
+/// One parsed item.
+#[derive(Debug)]
+pub struct Item {
+    pub kind: ItemKind,
+    /// Declared name; for `impl` blocks the self type's last path
+    /// segment; empty for `use`/`extern`/`Other`.
+    pub name: String,
+    /// `impl` only: the self type's last path segment (same as `name`).
+    pub self_ty: Option<String>,
+    /// `impl Trait for Ty` only: the trait's last path segment.
+    pub trait_name: Option<String>,
+    /// `fn` only.
+    pub receiver: Receiver,
+    /// `fn` only: parameter names after the receiver, in order.
+    pub params: Vec<String>,
+    /// `struct` only: named fields (empty for tuple/unit structs).
+    pub fields: Vec<Field>,
+    /// `static mut` — rule D8's shared-mutable-state anchor.
+    pub is_mut_static: bool,
+    /// Byte span, inclusive of leading attributes and visibility.
+    pub span: (usize, usize),
+    /// 1-based line of the first token.
+    pub line: u32,
+    /// Byte span of the `{ ... }` body including delimiters, when the
+    /// item has one (`fn` bodies, `impl`/`mod`/`trait` blocks).
+    pub body: Option<(usize, usize)>,
+    /// Members of `impl` / `mod` / `trait` bodies.
+    pub children: Vec<Item>,
+}
+
+impl Item {
+    fn new(kind: ItemKind, span: (usize, usize), line: u32) -> Item {
+        Item {
+            kind,
+            name: String::new(),
+            self_ty: None,
+            trait_name: None,
+            receiver: Receiver::None,
+            params: Vec::new(),
+            fields: Vec::new(),
+            is_mut_static: false,
+            span,
+            line,
+            body: None,
+            children: Vec::new(),
+        }
+    }
+
+    /// Depth-first walk over this item and its children.
+    pub fn walk<'a>(&'a self, visit: &mut impl FnMut(&'a Item)) {
+        visit(self);
+        for c in &self.children {
+            c.walk(visit);
+        }
+    }
+}
+
+/// Parses a file's top-level items. Total: every code token of the
+/// file lands inside exactly one returned item's span.
+pub fn parse_items(f: &SourceFile) -> Vec<Item> {
+    let code = f.code_tokens();
+    let mut p = Parser {
+        f,
+        code: &code,
+        pos: 0,
+    };
+    p.parse_seq(false)
+}
+
+struct Parser<'a> {
+    f: &'a SourceFile,
+    /// Indices into `f.tokens` of non-trivia tokens.
+    code: &'a [usize],
+    /// Cursor into `code`.
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.code.len()
+    }
+
+    /// Text of the code token at cursor offset `n`.
+    fn peek(&self, n: usize) -> &'a str {
+        match self.code.get(self.pos + n) {
+            Some(&i) => self.f.text(&self.f.tokens[i]),
+            None => "",
+        }
+    }
+
+    fn peek_kind(&self, n: usize) -> Option<TokKind> {
+        self.code.get(self.pos + n).map(|&i| self.f.tokens[i].kind)
+    }
+
+    /// Byte start of the token at cursor offset `n` (or EOF).
+    fn start_at(&self, n: usize) -> usize {
+        match self.code.get(self.pos + n) {
+            Some(&i) => self.f.tokens[i].start,
+            None => self.f.src.len(),
+        }
+    }
+
+    /// Byte end of the most recently consumed token.
+    fn last_end(&self) -> usize {
+        match self.pos.checked_sub(1).and_then(|p| self.code.get(p)) {
+            Some(&i) => self.f.tokens[i].end,
+            None => 0,
+        }
+    }
+
+    fn line_at(&self, n: usize) -> u32 {
+        match self.code.get(self.pos + n) {
+            Some(&i) => self.f.tokens[i].line,
+            None => self.f.tokens.last().map_or(1, |t| t.line),
+        }
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    /// Consumes one balanced delimiter group (cursor on the opener).
+    /// Returns the byte span including delimiters. Unbalanced input
+    /// runs to the end of the stream.
+    fn consume_group(&mut self, open: &str, close: &str) -> (usize, usize) {
+        let start = self.start_at(0);
+        let mut depth = 0usize;
+        while !self.at_end() {
+            let t = self.peek(0);
+            if t == open {
+                depth += 1;
+            } else if t == close {
+                depth -= 1;
+                if depth == 0 {
+                    self.bump();
+                    return (start, self.last_end());
+                }
+            }
+            self.bump();
+        }
+        (start, self.last_end())
+    }
+
+    /// Consumes a balanced `<...>` generics group (cursor on `<`).
+    /// `->` arrows inside (fn-pointer bounds like `F: Fn() -> u8`) do
+    /// not close an angle; `{...}` const-generic braces are opaque.
+    fn consume_generics(&mut self) {
+        let mut depth = 0usize;
+        let mut prev_was_dash = false;
+        while !self.at_end() {
+            match self.peek(0) {
+                "<" => {
+                    depth += 1;
+                    self.bump();
+                    prev_was_dash = false;
+                }
+                ">" if prev_was_dash => {
+                    // The `>` of a `->` return arrow.
+                    self.bump();
+                    prev_was_dash = false;
+                }
+                ">" => {
+                    depth = depth.saturating_sub(1);
+                    self.bump();
+                    if depth == 0 {
+                        return;
+                    }
+                    prev_was_dash = false;
+                }
+                "{" => {
+                    self.consume_group("{", "}");
+                    prev_was_dash = false;
+                }
+                "(" => {
+                    self.consume_group("(", ")");
+                    prev_was_dash = false;
+                }
+                "[" => {
+                    self.consume_group("[", "]");
+                    prev_was_dash = false;
+                }
+                t => {
+                    prev_was_dash = t == "-";
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Consumes up to (and including) a `;` at delimiter depth 0.
+    fn consume_to_semi(&mut self) {
+        while !self.at_end() {
+            match self.peek(0) {
+                ";" => {
+                    self.bump();
+                    return;
+                }
+                "{" => {
+                    self.consume_group("{", "}");
+                }
+                "(" => {
+                    self.consume_group("(", ")");
+                }
+                "[" => {
+                    self.consume_group("[", "]");
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Consumes tokens until an item body `{` or terminating `;` at
+    /// depth 0 (return types, where-clauses, trait bounds). Leaves the
+    /// cursor ON the `{` / `;`.
+    fn consume_to_body(&mut self) {
+        while !self.at_end() {
+            match self.peek(0) {
+                "{" | ";" => return,
+                "<" => self.consume_generics(),
+                "(" => {
+                    self.consume_group("(", ")");
+                }
+                "[" => {
+                    self.consume_group("[", "]");
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Parses a `;`- or `{}`-terminated item tail, recording a body
+    /// span for the brace form.
+    fn finish_body_or_semi(&mut self, item: &mut Item, children: bool) {
+        self.consume_to_body();
+        if self.peek(0) == "{" {
+            if children {
+                let body_start = self.start_at(0);
+                self.bump(); // `{`
+                item.children = self.parse_seq(true);
+                if self.peek(0) == "}" {
+                    self.bump();
+                }
+                item.body = Some((body_start, self.last_end()));
+            } else {
+                item.body = Some(self.consume_group("{", "}"));
+            }
+        } else if self.peek(0) == ";" {
+            self.bump();
+        }
+    }
+
+    /// Parses items until end of stream (`stop_at_close` false) or an
+    /// unmatched `}` (true, for `impl`/`mod`/`trait` bodies).
+    fn parse_seq(&mut self, stop_at_close: bool) -> Vec<Item> {
+        let mut items = Vec::new();
+        while !self.at_end() {
+            if stop_at_close && self.peek(0) == "}" {
+                break;
+            }
+            let before = self.pos;
+            items.push(self.parse_item());
+            // Totality guard: an item always consumes at least one
+            // token, otherwise degrade to a one-token Other.
+            if self.pos == before {
+                let span = (self.start_at(0), self.start_at(0));
+                let line = self.line_at(0);
+                self.bump();
+                let mut it = Item::new(ItemKind::Other, span, line);
+                it.span.1 = self.last_end();
+                items.push(it);
+            }
+        }
+        items
+    }
+
+    /// Parses one item starting at the cursor.
+    fn parse_item(&mut self) -> Item {
+        let start = self.start_at(0);
+        let line = self.line_at(0);
+
+        // Inner attribute `#![...]`: its own Other item (file header).
+        if self.peek(0) == "#" && self.peek(1) == "!" {
+            self.bump();
+            self.bump();
+            if self.peek(0) == "[" {
+                self.consume_group("[", "]");
+            }
+            return Item::new(ItemKind::Other, (start, self.last_end()), line);
+        }
+        // Outer attributes belong to the item they decorate.
+        while self.peek(0) == "#" && self.peek(1) == "[" {
+            self.bump();
+            self.consume_group("[", "]");
+        }
+        // Visibility and modifiers.
+        loop {
+            match self.peek(0) {
+                "pub" => {
+                    self.bump();
+                    if self.peek(0) == "(" {
+                        self.consume_group("(", ")");
+                    }
+                }
+                "default" | "unsafe" | "async" => self.bump(),
+                "const" if matches!(self.peek(1), "fn" | "unsafe" | "extern" | "async") => {
+                    self.bump()
+                }
+                "extern" if self.peek_kind(1) == Some(TokKind::Str) && self.peek(2) == "fn" => {
+                    self.bump();
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+
+        let mut item = match self.peek(0) {
+            "fn" => self.parse_fn(),
+            "struct" => self.parse_struct(),
+            "enum" => self.parse_simple_block(ItemKind::Enum),
+            "union" if self.peek_kind(1) == Some(TokKind::Ident) && self.peek(1) != "{" => {
+                self.parse_simple_block(ItemKind::Union)
+            }
+            "trait" => self.parse_named_container(ItemKind::Trait),
+            "impl" => self.parse_impl(),
+            "mod" => self.parse_named_container(ItemKind::Mod),
+            "use" => {
+                self.bump();
+                self.consume_to_semi();
+                Item::new(ItemKind::Use, (0, 0), line)
+            }
+            "static" => self.parse_const_like(ItemKind::Static),
+            "const" => self.parse_const_like(ItemKind::Const),
+            "type" => {
+                self.bump();
+                let mut it = Item::new(ItemKind::TypeAlias, (0, 0), line);
+                if self.peek_kind(0) == Some(TokKind::Ident) {
+                    it.name = self.peek(0).to_string();
+                }
+                self.consume_to_semi();
+                it
+            }
+            "macro_rules" | "macro" => self.parse_macro_def(),
+            "extern" => {
+                self.bump();
+                let mut it = Item::new(ItemKind::Extern, (0, 0), line);
+                if self.peek(0) == "crate" {
+                    self.consume_to_semi();
+                } else {
+                    // `extern "C" { ... }` foreign block, body opaque.
+                    self.finish_body_or_semi(&mut it, false);
+                }
+                it
+            }
+            _ if self.peek_kind(0) == Some(TokKind::Ident) && self.peek(1) == "!" => {
+                self.parse_macro_call()
+            }
+            _ => {
+                // Unclassifiable: sync to the next `;` or balanced
+                // block so spans stay total.
+                if self.peek(0) == "{" {
+                    self.consume_group("{", "}");
+                } else {
+                    self.consume_to_semi();
+                }
+                Item::new(ItemKind::Other, (0, 0), line)
+            }
+        };
+        item.span = (start, self.last_end());
+        item.line = line;
+        item
+    }
+
+    fn parse_fn(&mut self) -> Item {
+        let line = self.line_at(0);
+        self.bump(); // `fn`
+        let mut item = Item::new(ItemKind::Fn, (0, 0), line);
+        if self.peek_kind(0) == Some(TokKind::Ident) {
+            item.name = self.peek(0).to_string();
+            self.bump();
+        }
+        if self.peek(0) == "<" {
+            self.consume_generics();
+        }
+        if self.peek(0) == "(" {
+            let (recv, params) = self.parse_params();
+            item.receiver = recv;
+            item.params = params;
+        }
+        self.finish_body_or_semi(&mut item, false);
+        item
+    }
+
+    /// Parses a fn parameter list (cursor on `(`): receiver plus the
+    /// names of the remaining parameters.
+    fn parse_params(&mut self) -> (Receiver, Vec<String>) {
+        self.bump(); // `(`
+        let mut depth = 1usize;
+        let mut receiver = Receiver::None;
+        let mut params = Vec::new();
+        // Per-segment state, reset at each top-level comma.
+        let mut seg_first = true;
+        let mut seg_named = false;
+        let mut seg_tokens: Vec<&'a str> = Vec::new();
+        let close_segment =
+            |first: bool, tokens: &mut Vec<&'a str>, recv: &mut Receiver, out: &mut Vec<String>| {
+                if first && tokens.contains(&"self") {
+                    let has_amp = tokens.contains(&"&");
+                    let has_mut = tokens.contains(&"mut");
+                    *recv = match (has_amp, has_mut) {
+                        (true, true) => Receiver::RefMut,
+                        (true, false) => Receiver::Ref,
+                        (false, _) => Receiver::Owned,
+                    };
+                } else if !tokens.is_empty() {
+                    // Pattern before the `:`; the last ident covers
+                    // `x`, `mut x`, and `ref x`.
+                    let name = tokens
+                        .iter()
+                        .rev()
+                        .find(|&&t| t != "mut" && t != "ref")
+                        .copied()
+                        .unwrap_or("");
+                    if !name.is_empty() {
+                        out.push(name.to_string());
+                    }
+                }
+                tokens.clear();
+            };
+        while !self.at_end() {
+            let t = self.peek(0);
+            match t {
+                "(" | "[" => depth += 1,
+                ")" | "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close_segment(seg_first, &mut seg_tokens, &mut receiver, &mut params);
+                        self.bump();
+                        return (receiver, params);
+                    }
+                }
+                "<" if depth >= 1 => {
+                    self.consume_generics();
+                    seg_named = true; // generics only appear after `:`
+                    continue;
+                }
+                "," if depth == 1 => {
+                    close_segment(seg_first, &mut seg_tokens, &mut receiver, &mut params);
+                    seg_first = false;
+                    seg_named = false;
+                    self.bump();
+                    continue;
+                }
+                ":" if depth == 1 => seg_named = true,
+                _ => {
+                    let pattern_tok = (self.peek_kind(0) == Some(TokKind::Ident)
+                        && seg_tokens.len() < 8)
+                        || matches!(t, "&" | "mut");
+                    if depth == 1 && !seg_named && pattern_tok {
+                        seg_tokens.push(t);
+                    }
+                }
+            }
+            self.bump();
+        }
+        (receiver, params)
+    }
+
+    fn parse_struct(&mut self) -> Item {
+        let line = self.line_at(0);
+        self.bump(); // `struct`
+        let mut item = Item::new(ItemKind::Struct, (0, 0), line);
+        if self.peek_kind(0) == Some(TokKind::Ident) {
+            item.name = self.peek(0).to_string();
+            self.bump();
+        }
+        if self.peek(0) == "<" {
+            self.consume_generics();
+        }
+        self.consume_to_body(); // where-clause / tuple body / unit `;`
+        match self.peek(0) {
+            "{" => {
+                let (bs, be) = self.consume_group("{", "}");
+                item.body = Some((bs, be));
+                item.fields = self.fields_in_span(bs, be);
+            }
+            ";" => self.bump(),
+            _ => {}
+        }
+        item
+    }
+
+    /// Extracts named fields from a struct body's byte span: idents at
+    /// brace depth 1 directly followed by `:`, skipping attributes and
+    /// `pub(...)` visibility.
+    fn fields_in_span(&self, start: usize, end: usize) -> Vec<Field> {
+        let toks: Vec<usize> = self
+            .code
+            .iter()
+            .copied()
+            .filter(|&i| self.f.tokens[i].start >= start && self.f.tokens[i].end <= end)
+            .collect();
+        let text = |i: usize| self.f.text(&self.f.tokens[i]);
+        let mut fields = Vec::new();
+        let mut depth = 0i32;
+        let mut p = 0usize;
+        while p < toks.len() {
+            match text(toks[p]) {
+                "{" | "(" | "[" => depth += 1,
+                "}" | ")" | "]" => depth -= 1,
+                "<" if depth == 1 => {
+                    // Generic field type: skip to the matching `>` so
+                    // `BTreeMap<String, u64>`'s type arguments are
+                    // never mistaken for fields.
+                    let mut angle = 0i32;
+                    while p < toks.len() {
+                        match text(toks[p]) {
+                            "<" => angle += 1,
+                            ">" => {
+                                angle -= 1;
+                                if angle == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        p += 1;
+                    }
+                }
+                _ => {
+                    if depth == 1
+                        && self.f.tokens[toks[p]].kind == TokKind::Ident
+                        && toks
+                            .get(p + 1)
+                            .is_some_and(|&j| self.f.text(&self.f.tokens[j]) == ":")
+                        && toks
+                            .get(p + 2)
+                            .is_some_and(|&j| self.f.text(&self.f.tokens[j]) != ":")
+                        && text(toks[p]) != "pub"
+                    {
+                        // Not a path segment (`a::b`) and not preceded
+                        // by `:` (type position).
+                        let prev = p.checked_sub(1).map(|q| text(toks[q]));
+                        if prev != Some(":") {
+                            fields.push(Field {
+                                name: text(toks[p]).to_string(),
+                                line: self.f.tokens[toks[p]].line,
+                            });
+                        }
+                    }
+                }
+            }
+            p += 1;
+        }
+        fields
+    }
+
+    /// `enum` / `union`: name, generics, opaque brace body.
+    fn parse_simple_block(&mut self, kind: ItemKind) -> Item {
+        let line = self.line_at(0);
+        self.bump();
+        let mut item = Item::new(kind, (0, 0), line);
+        if self.peek_kind(0) == Some(TokKind::Ident) {
+            item.name = self.peek(0).to_string();
+            self.bump();
+        }
+        if self.peek(0) == "<" {
+            self.consume_generics();
+        }
+        self.finish_body_or_semi(&mut item, false);
+        item
+    }
+
+    /// `trait` / `mod`: name plus a body whose members are items.
+    fn parse_named_container(&mut self, kind: ItemKind) -> Item {
+        let line = self.line_at(0);
+        self.bump();
+        let mut item = Item::new(kind, (0, 0), line);
+        if self.peek_kind(0) == Some(TokKind::Ident) {
+            item.name = self.peek(0).to_string();
+            self.bump();
+        }
+        if self.peek(0) == "<" {
+            self.consume_generics();
+        }
+        self.finish_body_or_semi(&mut item, true);
+        item
+    }
+
+    fn parse_impl(&mut self) -> Item {
+        let line = self.line_at(0);
+        self.bump(); // `impl`
+        let mut item = Item::new(ItemKind::Impl, (0, 0), line);
+        if self.peek(0) == "<" {
+            self.consume_generics();
+        }
+        // First path: either the self type or the implemented trait.
+        let first = self.collect_type_path();
+        if self.peek(0) == "for" {
+            self.bump();
+            let second = self.collect_type_path();
+            item.trait_name = first;
+            item.self_ty = second;
+        } else {
+            item.self_ty = first;
+        }
+        item.name = item.self_ty.clone().unwrap_or_default();
+        self.finish_body_or_semi(&mut item, true);
+        item
+    }
+
+    /// Collects a type path up to `for` / `where` / `{` / `;`,
+    /// returning its last path segment (skipping generic arguments).
+    fn collect_type_path(&mut self) -> Option<String> {
+        let mut last: Option<String> = None;
+        while !self.at_end() {
+            match self.peek(0) {
+                "for" | "where" | "{" | ";" => break,
+                "<" => self.consume_generics(),
+                "(" => {
+                    self.consume_group("(", ")");
+                }
+                "[" => {
+                    self.consume_group("[", "]");
+                }
+                t => {
+                    if self.peek_kind(0) == Some(TokKind::Ident)
+                        && !matches!(t, "dyn" | "mut" | "const" | "unsafe")
+                    {
+                        last = Some(t.to_string());
+                    }
+                    self.bump();
+                }
+            }
+        }
+        last
+    }
+
+    fn parse_const_like(&mut self, kind: ItemKind) -> Item {
+        let line = self.line_at(0);
+        self.bump(); // `static` / `const`
+        let mut item = Item::new(kind, (0, 0), line);
+        if kind == ItemKind::Static && self.peek(0) == "mut" {
+            item.is_mut_static = true;
+            self.bump();
+        }
+        if self.peek_kind(0) == Some(TokKind::Ident) || self.peek(0) == "_" {
+            item.name = self.peek(0).to_string();
+        }
+        self.consume_to_semi();
+        item
+    }
+
+    /// `macro_rules! name { ... }` / `macro name { ... }`: the body is
+    /// one opaque delimiter group.
+    fn parse_macro_def(&mut self) -> Item {
+        let line = self.line_at(0);
+        self.bump(); // `macro_rules` / `macro`
+        if self.peek(0) == "!" {
+            self.bump();
+        }
+        let mut item = Item::new(ItemKind::MacroDef, (0, 0), line);
+        if self.peek_kind(0) == Some(TokKind::Ident) {
+            item.name = self.peek(0).to_string();
+            self.bump();
+        }
+        self.consume_macro_tail();
+        item
+    }
+
+    /// `name! { ... }` / `name!(...);` at item position.
+    fn parse_macro_call(&mut self) -> Item {
+        let line = self.line_at(0);
+        let mut item = Item::new(ItemKind::MacroCall, (0, 0), line);
+        item.name = self.peek(0).to_string();
+        self.bump(); // name
+        self.bump(); // `!`
+        if self.peek_kind(0) == Some(TokKind::Ident) {
+            // `macro_name! ident { ... }` (e.g. `lazy_static!`-style).
+            self.bump();
+        }
+        self.consume_macro_tail();
+        item
+    }
+
+    /// The delimited tail of a macro def/call: one balanced group,
+    /// plus the trailing `;` of the `()` / `[]` forms.
+    fn consume_macro_tail(&mut self) {
+        match self.peek(0) {
+            "{" => {
+                self.consume_group("{", "}");
+            }
+            "(" => {
+                self.consume_group("(", ")");
+                if self.peek(0) == ";" {
+                    self.bump();
+                }
+            }
+            "[" => {
+                self.consume_group("[", "]");
+                if self.peek(0) == ";" {
+                    self.bump();
+                }
+            }
+            _ => self.consume_to_semi(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn parse(src: &str) -> (SourceFile, Vec<Item>) {
+        let f = SourceFile::parse(
+            PathBuf::from("crates/core/src/x.rs"),
+            "crates/core/src/x.rs".to_string(),
+            src.to_string(),
+        );
+        let items = parse_items(&f);
+        (f, items)
+    }
+
+    #[test]
+    fn structs_with_fields_and_generics() {
+        let (_, items) = parse(
+            "pub struct FooStats<T: Clone> where T: Default {\n    pub reads: u64,\n    map: BTreeMap<String, u64>,\n    t: T,\n}\n",
+        );
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].kind, ItemKind::Struct);
+        assert_eq!(items[0].name, "FooStats");
+        let names: Vec<&str> = items[0].fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["reads", "map", "t"]);
+    }
+
+    #[test]
+    fn impl_blocks_carry_methods() {
+        let (_, items) = parse(
+            "impl FooStats {\n    pub fn merge(&mut self, other: &Self) { self.a += other.a; }\n    fn len(&self) -> usize { 0 }\n    pub fn make(n: u64, mut label: String) -> Self { todo!() }\n}\n",
+        );
+        assert_eq!(items.len(), 1);
+        let imp = &items[0];
+        assert_eq!(imp.kind, ItemKind::Impl);
+        assert_eq!(imp.self_ty.as_deref(), Some("FooStats"));
+        assert_eq!(imp.trait_name, None);
+        assert_eq!(imp.children.len(), 3);
+        let merge = &imp.children[0];
+        assert_eq!((merge.kind, merge.name.as_str()), (ItemKind::Fn, "merge"));
+        assert_eq!(merge.receiver, Receiver::RefMut);
+        assert_eq!(merge.params, ["other"]);
+        assert!(merge.body.is_some());
+        assert_eq!(imp.children[1].receiver, Receiver::Ref);
+        let make = &imp.children[2];
+        assert_eq!(make.receiver, Receiver::None);
+        assert_eq!(make.params, ["n", "label"]);
+    }
+
+    #[test]
+    fn trait_impls_name_both_sides() {
+        let (_, items) = parse(
+            "impl<T> fmt::Display for Wrapper<T> where T: fmt::Debug {\n    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { Ok(()) }\n}\n",
+        );
+        assert_eq!(items[0].trait_name.as_deref(), Some("Display"));
+        assert_eq!(items[0].self_ty.as_deref(), Some("Wrapper"));
+        assert_eq!(items[0].children.len(), 1);
+        assert_eq!(items[0].children[0].params, ["f"]);
+    }
+
+    #[test]
+    fn macro_bodies_are_opaque() {
+        let (_, items) = parse(
+            "macro_rules! counters {\n    ($($n:ident),*) => { $(pub fn $n() {} struct Hidden { x: u64 })* };\n}\ncounters!(a, b);\n",
+        );
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].kind, ItemKind::MacroDef);
+        assert_eq!(items[0].name, "counters");
+        assert!(items[0].children.is_empty(), "macro bodies yield no items");
+        assert_eq!(items[1].kind, ItemKind::MacroCall);
+    }
+
+    #[test]
+    fn statics_and_mut_statics() {
+        let (_, items) =
+            parse("static OK: u64 = 0;\npub static mut RACY: u64 = { 1 };\nconst N: usize = 4;\n");
+        assert_eq!(items.len(), 3);
+        assert!(!items[0].is_mut_static);
+        assert!(items[1].is_mut_static);
+        assert_eq!(items[1].name, "RACY");
+        assert_eq!(items[2].kind, ItemKind::Const);
+    }
+
+    #[test]
+    fn mods_nest() {
+        let (_, items) = parse(
+            "mod outer {\n    pub mod inner {\n        pub fn f() {}\n    }\n    struct S;\n}\n",
+        );
+        assert_eq!(items.len(), 1);
+        let outer = &items[0];
+        assert_eq!(outer.kind, ItemKind::Mod);
+        assert_eq!(outer.children.len(), 2);
+        assert_eq!(outer.children[0].children.len(), 1);
+        assert_eq!(outer.children[0].children[0].name, "f");
+    }
+
+    #[test]
+    fn fn_generics_with_return_arrows_inside() {
+        let (_, items) =
+            parse("fn apply<F: Fn(u64) -> u64, const N: usize>(f: F, xs: [u64; N]) -> u64 { 0 }\n");
+        assert_eq!(items.len(), 1, "{items:#?}");
+        assert_eq!(items[0].name, "apply");
+        assert_eq!(items[0].params, ["f", "xs"]);
+        assert!(items[0].body.is_some());
+    }
+
+    #[test]
+    fn raw_ident_items() {
+        let (_, items) = parse("struct r#type { r#fn: u64 }\nfn r#match() {}\n");
+        assert_eq!(items[0].name, "r#type");
+        assert_eq!(items[0].fields[0].name, "r#fn");
+        assert_eq!(items[1].name, "r#match");
+    }
+
+    #[test]
+    fn spans_tile_and_nest() {
+        let src = "use a::b;\n#[derive(Debug)]\nstruct S { x: u64 }\nimpl S { fn f(&self) {} }\n";
+        let (f, items) = parse(src);
+        // Sibling spans: ordered, disjoint.
+        let mut at = 0usize;
+        for it in &items {
+            assert!(it.span.0 >= at, "{it:?}");
+            assert!(it.span.1 > it.span.0);
+            at = it.span.1;
+        }
+        // The derive attribute is part of the struct's span.
+        let s = &items[1];
+        assert!(f.src[s.span.0..s.span.1].starts_with("#[derive"));
+        // Children sit inside the parent body.
+        let imp = &items[2];
+        let (bs, be) = imp.body.unwrap();
+        for c in &imp.children {
+            assert!(c.span.0 >= bs && c.span.1 <= be);
+        }
+    }
+}

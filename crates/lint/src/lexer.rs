@@ -311,23 +311,26 @@ impl<'a> Lexer<'a> {
     /// prefix, or a raw identifier `r#name`.
     fn scan_ident_or_prefixed(&mut self, first: char) -> TokKind {
         // String-literal prefixes are decided before consuming the
-        // ident, from the raw lookahead.
+        // ident, from the raw lookahead. Rust's prefixes are exactly
+        // `r`, `b`, `br` — there is no `rb`, so `rb"x"` must lex as
+        // the ident `rb` followed by a string, like rustc does.
         if matches!(first, 'r' | 'b') {
             let rest = &self.src[self.pos..];
-            let prefix_len = if rest.starts_with("br") || rest.starts_with("rb") {
-                2
-            } else {
-                1
-            };
-            let after: String = rest.chars().skip(prefix_len).take(256).collect();
-            let hashes = after.chars().take_while(|&c| c == '#').count();
+            let prefix_len = if rest.starts_with("br") { 2 } else { 1 };
+            let after = &rest[prefix_len..];
+            // Hash run length on the raw byte slice: a raw string may
+            // carry arbitrarily many hashes, and undercounting (the old
+            // capped lookahead) lexes the *contents* of a valid raw
+            // string as code — a rule-soundness hole, not a cosmetic
+            // one.
+            let hashes = after.bytes().take_while(|&b| b == b'#').count();
             let is_raw_capable = first == 'r' || rest.starts_with("br");
             if after.starts_with('"') && prefix_len == 1 && first == 'b' {
                 // b"..."
                 self.bump();
                 return self.scan_string();
             }
-            if is_raw_capable && after.chars().nth(hashes) == Some('"') {
+            if is_raw_capable && after.as_bytes().get(hashes) == Some(&b'"') {
                 // r"..." / br"..." / r#"..."# / br##"..."##
                 for _ in 0..prefix_len {
                     self.bump();
@@ -421,6 +424,64 @@ mod tests {
         let toks = lex("r#type");
         assert_eq!(toks.len(), 1);
         assert_eq!(toks[0].kind, TokKind::Ident);
+        // Raw identifiers keep their `r#` in the token text, so a rule
+        // matching on `as`/`now`/`unwrap` never confuses `r#as` with
+        // the keyword it escapes.
+        for kw in ["r#as", "r#fn", "r#match", "r#await", "r#type"] {
+            let toks = lex(kw);
+            assert_eq!(toks.len(), 1, "{kw}");
+            assert_eq!(toks[0].kind, TokKind::Ident, "{kw}");
+            assert_eq!(&kw[toks[0].start..toks[0].end], kw);
+        }
+        covers("let r#type = r#match.r#await;");
+    }
+
+    #[test]
+    fn rb_is_not_a_string_prefix() {
+        // Rust's literal prefixes are `r`, `b`, `br` — `rb"x"` is the
+        // identifier `rb` followed by a string, not a raw string.
+        use TokKind::*;
+        assert_eq!(kinds("rb\"x\""), vec![Ident, Str]);
+        let toks = lex("rb\"x\"");
+        assert_eq!(&"rb\"x\""[toks[0].start..toks[0].end], "rb");
+        // The real prefixes still lex as one literal.
+        assert_eq!(kinds("br\"x\""), vec![Str]);
+        assert_eq!(kinds("b\"x\""), vec![Str]);
+        assert_eq!(kinds("r\"x\""), vec![Str]);
+        covers("rb\"x\"");
+    }
+
+    #[test]
+    fn raw_strings_with_many_hashes() {
+        // The hash run is counted on the raw slice, not a capped
+        // lookahead: a 300-hash raw string is still *one* Str token,
+        // so its contents are never scanned as code.
+        for n in [1usize, 8, 255, 256, 300] {
+            let h = "#".repeat(n);
+            let src = format!("r{h}\"let x = HashMap::new();\"{h}");
+            let toks = lex(&src);
+            assert_eq!(toks.len(), 1, "{n} hashes");
+            assert_eq!(toks[0].kind, TokKind::Str, "{n} hashes");
+            covers(&src);
+        }
+    }
+
+    #[test]
+    fn nested_comments_with_string_lookalikes() {
+        // Block comments nest blindly (rustc does not parse strings
+        // inside comments), so a `/*` inside a quoted lookalike still
+        // opens a nesting level and the comment spans to the matching
+        // close — or to EOF when unbalanced.
+        use TokKind::*;
+        assert_eq!(kinds("/* \"*/\" */ x"), vec![BlockComment, Str]);
+        let balanced = "/* \"/*\" x */ y */ z";
+        assert_eq!(kinds(balanced), vec![BlockComment, Ident]);
+        covers(balanced);
+        let unterminated = "/* \"/*\" */ x";
+        assert_eq!(kinds(unterminated), vec![BlockComment]);
+        covers(unterminated);
+        covers("/* r#\"*/ tail */ x");
+        covers("/* b\"*/\" */ after");
     }
 
     #[test]

@@ -26,9 +26,12 @@
 //! flagged (`W1`). See `docs/LINTS.md` for the full rule catalogue and
 //! rationale.
 
+pub mod format;
+pub mod items;
 pub mod lexer;
 pub mod rules;
 pub mod scan;
+pub mod symbols;
 pub mod workspace;
 
 use std::io;
@@ -36,12 +39,17 @@ use std::path::Path;
 
 pub use rules::{Report, RuleInfo, Violation, RULES};
 
+/// Runs every rule over an already-loaded workspace.
+pub fn check_loaded(ws: &workspace::Workspace) -> Report {
+    rules::check_workspace(
+        &ws.files,
+        ws.arch_md.as_deref().map(|a| ("docs/ARCHITECTURE.md", a)),
+        ws.waiver_baseline.as_deref(),
+    )
+}
+
 /// Loads the workspace at `root`, runs every rule, and returns the
 /// report.
 pub fn check_root(root: &Path) -> io::Result<Report> {
-    let ws = workspace::load(root)?;
-    Ok(rules::check_workspace(
-        &ws.files,
-        ws.arch_md.as_deref().map(|a| ("docs/ARCHITECTURE.md", a)),
-    ))
+    Ok(check_loaded(&workspace::load(root)?))
 }

@@ -3,6 +3,9 @@
 //! ```text
 //! gsdram-lint --workspace [--deny] [--quiet]   # lint the enclosing workspace
 //! gsdram-lint <root> [--deny]                  # lint an explicit tree
+//! gsdram-lint --workspace --format json        # findings as stable JSON on stdout
+//! gsdram-lint --workspace --write-waivers lint_waivers.json
+//!                                              # (re)generate the D10 baseline
 //! gsdram-lint --list-rules                     # print the rule catalogue
 //! ```
 //!
@@ -13,10 +16,17 @@
 #![allow(clippy::print_stdout, clippy::print_stderr)]
 
 use std::env;
+use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use gsdram_lint::{check_root, workspace, RULES};
+use gsdram_lint::{check_loaded, format, workspace, RULES};
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
 
 struct Args {
     root: Option<PathBuf>,
@@ -24,7 +34,12 @@ struct Args {
     deny: bool,
     quiet: bool,
     list_rules: bool,
+    format: Format,
+    write_waivers: Option<PathBuf>,
 }
+
+const USAGE: &str = "usage: gsdram-lint [--workspace | <root>] [--deny] [--quiet] \
+                     [--format text|json] [--write-waivers <path>] [--list-rules]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -33,19 +48,35 @@ fn parse_args() -> Result<Args, String> {
         deny: false,
         quiet: false,
         list_rules: false,
+        format: Format::Text,
+        write_waivers: None,
     };
-    for a in env::args().skip(1) {
+    let mut it = env::args().skip(1);
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--workspace" => args.use_workspace = true,
             "--deny" => args.deny = true,
             "--quiet" => args.quiet = true,
             "--list-rules" => args.list_rules = true,
-            "--help" | "-h" => {
-                return Err(
-                    "usage: gsdram-lint [--workspace | <root>] [--deny] [--quiet] [--list-rules]"
-                        .to_string(),
-                )
+            "--format" => {
+                args.format = match it.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => {
+                        return Err(format!(
+                            "--format takes `text` or `json`, got {:?}",
+                            other.unwrap_or("nothing")
+                        ))
+                    }
+                };
             }
+            "--write-waivers" => {
+                let Some(path) = it.next() else {
+                    return Err("--write-waivers takes a path".to_string());
+                };
+                args.write_waivers = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
             path => {
                 if args.root.replace(PathBuf::from(path)).is_some() {
@@ -88,15 +119,36 @@ fn main() -> ExitCode {
             }
         }
     };
-    let report = match check_root(&root) {
-        Ok(r) => r,
+    let ws = match workspace::load(&root) {
+        Ok(ws) => ws,
         Err(e) => {
             eprintln!("scan failed under {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
-    for v in &report.violations {
-        println!("{}:{}:{}: {}: {}", v.rel, v.line, v.col, v.rule, v.msg);
+    if let Some(path) = &args.write_waivers {
+        let doc = format::waivers_json(&ws.files) + "\n";
+        if let Err(e) = fs::write(path, doc) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        if !args.quiet {
+            eprintln!("gsdram-lint: wrote waiver baseline to {}", path.display());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let report = check_loaded(&ws);
+    match args.format {
+        Format::Text => {
+            for v in &report.violations {
+                println!("{}:{}:{}: {}: {}", v.rel, v.line, v.col, v.rule, v.msg);
+            }
+        }
+        Format::Json => {
+            // Findings to stdout (pipeable, byte-stable); the human
+            // summary stays on stderr.
+            println!("{}", format::findings_json(&report, &ws.files));
+        }
     }
     if !args.quiet {
         eprintln!(

@@ -8,8 +8,14 @@
 //! offending construct; a matching inline waiver suppresses the
 //! violation and is counted instead.
 
+use std::collections::{BTreeMap, BTreeSet};
+
+use gsdram_core::json::Json;
+
+use crate::items::{ItemKind, Receiver};
 use crate::lexer::TokKind;
 use crate::scan::{FileKind, SourceFile};
+use crate::symbols::ItemGraph;
 
 /// One reported violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,6 +88,26 @@ pub const RULES: &[RuleInfo] = &[
                   clocks by leaping to a component's reported next-event bound",
     },
     RuleInfo {
+        id: "D8",
+        summary: "no shared mutable state or ad-hoc synchronization (`static mut`, \
+                  std::sync, atomics, Ordering, thread::spawn, rayon) in \
+                  simulation-crate or bench library code outside the waived sweep \
+                  runner; parallel ≡ serial stays provable only if sim code is \
+                  single-threaded by construction",
+    },
+    RuleInfo {
+        id: "D9",
+        summary: "every field of a *Stats/*Breakdown struct with a \
+                  `merge(&mut self, &Self)` must be read from the other side inside \
+                  it; a silently dropped field corrupts every parallel sweep",
+    },
+    RuleInfo {
+        id: "D10",
+        summary: "the per-rule waiver inventory must match the committed \
+                  lint_waivers.json baseline; new waivers land as a reviewed diff \
+                  and stale entries fail CI",
+    },
+    RuleInfo {
         id: "W0",
         summary: "every waiver must parse and carry a non-empty reason",
     },
@@ -129,12 +155,58 @@ fn d3_covers(rel: &str) -> bool {
         || rel.starts_with("crates/cache/src/")
 }
 
-/// Checks every per-file rule plus the cross-file D6 rule.
+/// Synchronization-primitive type names rule D8 bans: everything in
+/// `std::sync` a sim crate could reach for, atomics included.
+const D8_SYNC_TYPES: &[&str] = &[
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "Barrier",
+    "Once",
+    "OnceLock",
+    "LazyLock",
+    "Arc",
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+    "AtomicPtr",
+    "mpsc",
+];
+
+/// Memory-ordering variants: `Ordering::<one of these>` marks the
+/// atomic `Ordering`, never `std::cmp::Ordering` (whose variants are
+/// Less/Equal/Greater).
+const D8_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Files rule D8 covers: simulation-crate library code (telemetry
+/// included — collectors run inside the sim loop) plus the bench
+/// crate's library, which hosts the one sanctioned parallel site (the
+/// sweep runner, waived in place).
+fn d8_covers(f: &SourceFile) -> bool {
+    f.class.is_sim_lib(true)
+        || (f.class.kind == FileKind::Lib && f.class.crate_name.as_deref() == Some("bench"))
+}
+
+/// Checks every per-file rule plus the cross-file rules (D6, D9, D10).
 ///
 /// `arch_md` is `docs/ARCHITECTURE.md`'s `(rel, contents)` when
 /// present — D6's event-table leg is skipped without it (fixture
-/// trees may omit it deliberately).
-pub fn check_workspace(files: &[SourceFile], arch_md: Option<(&str, &str)>) -> Report {
+/// trees may omit it deliberately). `waiver_baseline` is the committed
+/// `lint_waivers.json` when present — D10 is skipped without it, so a
+/// tree that has never generated a baseline is not failed for it.
+pub fn check_workspace(
+    files: &[SourceFile],
+    arch_md: Option<(&str, &str)>,
+    waiver_baseline: Option<&str>,
+) -> Report {
     let mut report = Report {
         files: files.len(),
         ..Report::default()
@@ -146,9 +218,14 @@ pub fn check_workspace(files: &[SourceFile], arch_md: Option<(&str, &str)>) -> R
         check_panic_paths(f, &mut report);
         check_floats(f, &mut report);
         check_clock_ticking(f, &mut report);
+        check_concurrency(f, &mut report);
         check_waiver_syntax(f, &mut report);
     }
     check_sim_event_coverage(files, arch_md, &mut report);
+    check_merge_totality(files, &mut report);
+    // D10 runs after every waiver-consulting rule so the inventory it
+    // audits is the one this very report used.
+    check_waiver_debt(files, waiver_baseline, &mut report);
     for f in files {
         check_unused_waivers(f, &mut report);
     }
@@ -404,6 +481,252 @@ fn check_clock_ticking(f: &SourceFile, report: &mut Report) {
     }
 }
 
+/// D8: shared mutable state and ad-hoc synchronization in sim/bench
+/// library code. ROADMAP item 2 shards per-channel simulation across
+/// threads; "parallel ≡ serial" stays provable only if the simulation
+/// itself is statically barred from `static mut`, `std::sync`
+/// primitives, atomics with their memory orderings, and thread
+/// spawning. The sweep runner in `bench/src/sweep.rs` is the one
+/// sanctioned parallel site and carries in-place waivers.
+fn check_concurrency(f: &SourceFile, report: &mut Report) {
+    if !d8_covers(f) {
+        return;
+    }
+    let code = f.code_tokens();
+    for (pos, &i) in code.iter().enumerate() {
+        let t = &f.tokens[i];
+        if t.kind != TokKind::Ident || f.in_test_region(t.start) {
+            continue;
+        }
+        let name = f.text(t);
+        let tok_is = |n: usize, s: &str| {
+            code.get(pos + n)
+                .is_some_and(|&j| f.text(&f.tokens[j]) == s)
+        };
+        let tok_in = |n: usize, set: &[&str]| {
+            code.get(pos + n)
+                .is_some_and(|&j| set.contains(&f.text(&f.tokens[j])))
+        };
+        let prev_is = |s: &str| {
+            pos.checked_sub(1)
+                .and_then(|p| code.get(p))
+                .is_some_and(|&j| f.text(&f.tokens[j]) == s)
+        };
+        let hit = if name == "static" && tok_is(1, "mut") {
+            Some("`static mut` is shared mutable state; thread the value through the sim spec instead".to_string())
+        } else if D8_SYNC_TYPES.contains(&name) {
+            Some(format!(
+                "`{name}` is a synchronization primitive; sim code must be single-threaded so parallel \u{2261} serial stays provable"
+            ))
+        } else if (name == "std" || name == "core")
+            && tok_is(1, ":")
+            && tok_is(2, ":")
+            && (tok_is(3, "sync") || tok_is(3, "thread"))
+        {
+            Some(format!(
+                "`{name}::{}` is banned in sim code; the sweep runner is the one sanctioned parallel site",
+                if tok_is(3, "sync") { "sync" } else { "thread" }
+            ))
+        } else if name == "rayon" || name == "crossbeam" {
+            Some(format!(
+                "`{name}` introduces work-stealing parallelism; sharding must go through the sweep runner"
+            ))
+        } else if name == "thread" && tok_is(1, ":") && tok_is(2, ":") && tok_is(3, "spawn") {
+            Some("`thread::spawn` in sim code; the sweep runner owns all threads".to_string())
+        } else if name == "spawn" && prev_is(".") && tok_is(1, "(") {
+            Some("`.spawn(` starts a thread; the sweep runner owns all threads".to_string())
+        } else if name == "Ordering" && tok_is(1, ":") && tok_is(2, ":") && tok_in(3, D8_ORDERINGS)
+        {
+            Some(
+                "atomic memory orderings have no place in sim code; state is single-threaded by construction"
+                    .to_string(),
+            )
+        } else {
+            None
+        };
+        if let Some(msg) = hit {
+            push(report, f, "D8", t.line, t.col, msg);
+        }
+    }
+}
+
+/// D9: merge totality. For every `*Stats`/`*Breakdown` struct with
+/// named fields and a same-crate `merge(&mut self, &Self)`, each field
+/// must be read off the merge's other side — `other.field` for
+/// whatever the parameter is named. A merge that silently drops a
+/// field makes parallel sweeps under-count without any test noticing
+/// until someone hand-writes a per-field assertion; this closes that
+/// hole structurally. Violations anchor at the `merge` fn, where the
+/// fix goes.
+fn check_merge_totality(files: &[SourceFile], report: &mut Report) {
+    let graph = ItemGraph::build(files);
+    for (name, defs) in &graph.type_defs {
+        if !(name.ends_with("Stats") || name.ends_with("Breakdown")) {
+            continue;
+        }
+        for def_id in defs {
+            let def = graph.item(def_id);
+            if def.kind != ItemKind::Struct
+                || def.fields.is_empty()
+                || files[def_id.file].class.kind == FileKind::Test
+                || files[def_id.file].in_test_region(def.span.0)
+            {
+                continue;
+            }
+            for imp_id in graph.impls_of(name, files, def_id.file) {
+                let imp_file = &files[imp_id.file];
+                if imp_file.class.kind == FileKind::Test {
+                    continue;
+                }
+                let imp = graph.item(imp_id);
+                for m in &imp.children {
+                    if m.kind != ItemKind::Fn
+                        || m.name != "merge"
+                        || m.receiver != Receiver::RefMut
+                        || m.params.len() != 1
+                        || imp_file.in_test_region(m.span.0)
+                    {
+                        continue;
+                    }
+                    let Some((bs, be)) = m.body else {
+                        continue;
+                    };
+                    let other = &m.params[0];
+                    let reads = field_reads(imp_file, bs, be, other);
+                    for fld in &def.fields {
+                        if !reads.contains(&fld.name) {
+                            push(
+                                report,
+                                imp_file,
+                                "D9",
+                                m.line,
+                                1,
+                                format!(
+                                    "`{name}::merge` never reads `{other}.{}`; a merge that drops a field corrupts every parallel sweep",
+                                    fld.name
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Field names read as `<param> . <field>` inside a body byte span.
+fn field_reads(f: &SourceFile, start: usize, end: usize, param: &str) -> BTreeSet<String> {
+    let code: Vec<usize> = f
+        .code_tokens()
+        .into_iter()
+        .filter(|&i| f.tokens[i].start >= start && f.tokens[i].end <= end)
+        .collect();
+    let mut reads = BTreeSet::new();
+    for (pos, &i) in code.iter().enumerate() {
+        if f.text(&f.tokens[i]) != param || f.tokens[i].kind != TokKind::Ident {
+            continue;
+        }
+        let dot = code.get(pos + 1);
+        let fld = code.get(pos + 2);
+        if let (Some(&d), Some(&n)) = (dot, fld) {
+            if f.text(&f.tokens[d]) == "." && f.tokens[n].kind == TokKind::Ident {
+                reads.insert(f.text(&f.tokens[n]).to_string());
+            }
+        }
+    }
+    reads
+}
+
+/// The per-rule waiver inventory: rule id → file → count of waiver
+/// comments naming that rule. This is what `lint_waivers.json`
+/// commits and what D10 audits.
+pub fn waiver_inventory(files: &[SourceFile]) -> BTreeMap<String, BTreeMap<String, usize>> {
+    let mut inv: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+    for f in files {
+        for w in &f.waivers {
+            for r in &w.rules {
+                *inv.entry(r.clone())
+                    .or_default()
+                    .entry(f.rel.clone())
+                    .or_insert(0) += 1;
+            }
+        }
+    }
+    inv
+}
+
+/// The file D10 anchors its violations at.
+pub const WAIVER_BASELINE_REL: &str = "lint_waivers.json";
+
+/// D10: waiver-debt accounting. Compares the live waiver inventory
+/// against the committed baseline; new waivers must land as a reviewed
+/// baseline diff and stale entries must be cleaned up. D10 violations
+/// are themselves unwaivable — a waiver for the waiver-audit would be
+/// circular.
+fn check_waiver_debt(files: &[SourceFile], baseline: Option<&str>, report: &mut Report) {
+    let Some(text) = baseline else {
+        return;
+    };
+    const REGEN: &str =
+        "regenerate with `gsdram-lint --workspace --write-waivers lint_waivers.json` and justify the diff in review";
+    let mut fail = |msg: String| {
+        report.violations.push(Violation {
+            rule: "D10",
+            rel: WAIVER_BASELINE_REL.to_string(),
+            line: 1,
+            col: 1,
+            msg,
+        });
+    };
+    let parsed = match Json::parse(text) {
+        Ok(v) => v,
+        Err(e) => {
+            fail(format!("waiver baseline does not parse: {e}; {REGEN}"));
+            return;
+        }
+    };
+    let mut base: BTreeMap<(String, String), usize> = BTreeMap::new();
+    if let Some(rules) = parsed.get("rules").and_then(Json::as_object) {
+        for (rule, by_file) in rules {
+            for (rel, count) in by_file.as_object().unwrap_or(&[]) {
+                let n = count.as_u64().unwrap_or(0) as usize;
+                base.insert((rule.clone(), rel.clone()), n);
+            }
+        }
+    } else {
+        fail(format!("waiver baseline has no `rules` object; {REGEN}"));
+        return;
+    }
+    let mut actual: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for (rule, by_file) in waiver_inventory(files) {
+        for (rel, n) in by_file {
+            actual.insert((rule.clone(), rel), n);
+        }
+    }
+    for ((rule, rel), &n) in &actual {
+        match base.get(&(rule.clone(), rel.clone())) {
+            None => fail(format!(
+                "new waiver debt: {n} waiver(s) for {rule} in {rel} not in the baseline; {REGEN}"
+            )),
+            Some(&m) if n > m => fail(format!(
+                "waiver debt grew: {rule} in {rel} has {n} waiver(s), baseline says {m}; {REGEN}"
+            )),
+            Some(_) => {}
+        }
+    }
+    for ((rule, rel), &m) in &base {
+        let n = actual
+            .get(&(rule.clone(), rel.clone()))
+            .copied()
+            .unwrap_or(0);
+        if n < m {
+            fail(format!(
+                "stale baseline entry: {rule} in {rel} records {m} waiver(s) but {n} exist; {REGEN}"
+            ));
+        }
+    }
+}
+
 /// W0: malformed waivers and waivers without a reason.
 fn check_waiver_syntax(f: &SourceFile, report: &mut Report) {
     for &line in &f.malformed_waivers {
@@ -618,7 +941,7 @@ mod tests {
     }
 
     fn check_one(rel: &str, src: &str) -> Report {
-        check_workspace(&[file(rel, src)], None)
+        check_workspace(&[file(rel, src)], None, None)
     }
 
     fn rules_of(r: &Report) -> Vec<&'static str> {
@@ -759,6 +1082,7 @@ mod tests {
                 file("crates/telemetry/src/collector.rs", &collector_ok.src),
             ],
             Some(("docs/ARCHITECTURE.md", arch)),
+            None,
         );
         assert!(r.violations.is_empty(), "{:?}", r.violations);
 
@@ -773,9 +1097,140 @@ mod tests {
                 file("crates/telemetry/src/collector.rs", &collector_missing.src),
             ],
             Some(("docs/ARCHITECTURE.md", arch_missing)),
+            None,
         );
         assert_eq!(rules_of(&r), ["D6", "D6"], "{:?}", r.violations);
         assert!(r.violations.iter().all(|v| v.msg.contains("DramComplete")));
+    }
+
+    #[test]
+    fn d8_flags_sync_and_threads_in_sim_and_bench_lib() {
+        let bad = concat!(
+            "static mut RACY: u64 = 0;\n",
+            "use std::sync::atomic::{AtomicUsize, Ordering};\n",
+            "fn f() { let _ = x.fetch_add(1, Ordering::Relaxed); }\n",
+            "fn g(s: &std::thread::Scope) { s.spawn(|| {}); }\n",
+        );
+        let r = check_one("crates/dram/src/x.rs", bad);
+        assert!(
+            rules_of(&r).iter().all(|&v| v == "D8"),
+            "{:?}",
+            r.violations
+        );
+        // static mut; std::sync + AtomicUsize; Ordering::Relaxed;
+        // std::thread; .spawn(
+        assert_eq!(r.violations.len(), 6, "{:?}", r.violations);
+        // The bench *library* is covered (it hosts the sweep runner)…
+        assert_eq!(
+            rules_of(&check_one(
+                "crates/bench/src/x.rs",
+                "fn f() { let m = Mutex::new(0); }\n"
+            )),
+            ["D8"]
+        );
+        // …but tests, bins, and non-sim crates are not.
+        assert!(rules_of(&check_one("crates/dram/tests/x.rs", bad)).is_empty());
+        assert!(rules_of(&check_one("crates/cli/src/main.rs", bad)).is_empty());
+        // `std::cmp::Ordering` is untouched.
+        let cmp = "fn f(a: u64, b: u64) -> std::cmp::Ordering { a.cmp(&b) }\n";
+        assert!(rules_of(&check_one("crates/dram/src/x.rs", cmp)).is_empty());
+        // Waivers suppress, as for every D rule.
+        let waived =
+            "// gsdram-lint: allow(D8) sanctioned parallel site, proven serial-identical\nuse std::thread;\n";
+        let r = check_one("crates/bench/src/x.rs", waived);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert_eq!(r.waived, 1);
+    }
+
+    #[test]
+    fn d9_requires_total_merges() {
+        let total = concat!(
+            "pub struct QueueStats { pub enq: u64, pub deq: u64, pub peak: u64 }\n",
+            "impl QueueStats {\n",
+            "    pub fn merge(&mut self, other: &Self) {\n",
+            "        self.enq += other.enq;\n",
+            "        self.deq += other.deq;\n",
+            "        if other.peak > self.peak { self.peak = other.peak; }\n",
+            "    }\n",
+            "}\n",
+        );
+        assert!(rules_of(&check_one("crates/dram/src/x.rs", total)).is_empty());
+        let dropped = total.replace("if other.peak > self.peak { self.peak = other.peak; }", "");
+        let r = check_one("crates/dram/src/x.rs", &dropped);
+        assert_eq!(rules_of(&r), ["D9"], "{:?}", r.violations);
+        assert!(
+            r.violations[0].msg.contains("other.peak"),
+            "{:?}",
+            r.violations
+        );
+        // The violation anchors at the merge fn.
+        assert_eq!(r.violations[0].line, 3);
+        // Cross-file within one crate: struct and impl in different files.
+        let r = check_workspace(
+            &[
+                file(
+                    "crates/dram/src/stats.rs",
+                    "pub struct IoStats { pub n: u64 }\n",
+                ),
+                file(
+                    "crates/dram/src/merge.rs",
+                    "impl IoStats { pub fn merge(&mut self, rhs: &Self) { let _ = rhs; } }\n",
+                ),
+            ],
+            None,
+            None,
+        );
+        assert_eq!(rules_of(&r), ["D9"], "{:?}", r.violations);
+        assert!(r.violations[0].msg.contains("rhs.n"));
+        // Non-merge impls, tuple structs, and differently-named types
+        // carry no obligation.
+        let no_merge = "pub struct FooStats { pub a: u64 }\nimpl FooStats { fn reset(&mut self) { self.a = 0; } }\n";
+        assert!(rules_of(&check_one("crates/dram/src/x.rs", no_merge)).is_empty());
+        let not_stats = "pub struct Queue { pub a: u64 }\nimpl Queue { pub fn merge(&mut self, o: &Self) {} }\n";
+        assert!(rules_of(&check_one("crates/dram/src/x.rs", not_stats)).is_empty());
+    }
+
+    #[test]
+    fn d10_audits_waiver_debt_against_the_baseline() {
+        let src = "// gsdram-lint: allow(D4) key inserted above\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let files = [file("crates/core/src/x.rs", src)];
+        let matching = r#"{"rules": {"D4": {"crates/core/src/x.rs": 1}}}"#;
+        let r = check_workspace(&files, None, Some(matching));
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        // New debt: a waiver the baseline has never seen.
+        let empty = r#"{"rules": {}}"#;
+        let r = check_workspace(&files, None, Some(empty));
+        assert_eq!(rules_of(&r), ["D10"], "{:?}", r.violations);
+        assert!(r.violations[0].msg.contains("new waiver debt"));
+        assert_eq!(r.violations[0].rel, WAIVER_BASELINE_REL);
+        // Stale debt: the baseline records a waiver that is gone.
+        let stale =
+            r#"{"rules": {"D4": {"crates/core/src/x.rs": 1, "crates/core/src/gone.rs": 2}}}"#;
+        let r = check_workspace(&files, None, Some(stale));
+        assert_eq!(rules_of(&r), ["D10"]);
+        assert!(r.violations[0].msg.contains("stale baseline entry"));
+        // No baseline → no audit (fixture trees, fresh checkouts).
+        let r = check_workspace(&files, None, None);
+        assert!(r.violations.is_empty());
+        // Garbage baseline is a violation, not a crash.
+        let r = check_workspace(&files, None, Some("{nope"));
+        assert_eq!(rules_of(&r), ["D10"]);
+    }
+
+    #[test]
+    fn waiver_inventory_counts_per_rule_per_file() {
+        let files = [
+            file(
+                "crates/core/src/a.rs",
+                "// gsdram-lint: allow(D4) one\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n// gsdram-lint: allow(D4, D5) two\nfn g() {}\n",
+            ),
+            file("crates/core/src/b.rs", "fn h() {}\n"),
+        ];
+        let inv = waiver_inventory(&files);
+        assert_eq!(inv["D4"]["crates/core/src/a.rs"], 2);
+        assert_eq!(inv["D5"]["crates/core/src/a.rs"], 1);
+        assert!(!inv.contains_key("D1"));
+        assert!(!inv["D4"].contains_key("crates/core/src/b.rs"));
     }
 
     #[test]

@@ -22,6 +22,9 @@ pub struct Workspace {
     pub files: Vec<SourceFile>,
     /// `docs/ARCHITECTURE.md` contents, when present.
     pub arch_md: Option<String>,
+    /// `lint_waivers.json` contents, when present — rule D10's
+    /// committed waiver-debt baseline.
+    pub waiver_baseline: Option<String>,
 }
 
 /// Walks up from `start` to the nearest directory whose `Cargo.toml`
@@ -59,10 +62,12 @@ pub fn load(root: &Path) -> io::Result<Workspace> {
         files.push(SourceFile::parse(p, rel, src));
     }
     let arch_md = fs::read_to_string(root.join("docs/ARCHITECTURE.md")).ok();
+    let waiver_baseline = fs::read_to_string(root.join(crate::rules::WAIVER_BASELINE_REL)).ok();
     Ok(Workspace {
         root: root.to_path_buf(),
         files,
         arch_md,
+        waiver_baseline,
     })
 }
 

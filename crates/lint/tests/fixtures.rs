@@ -92,6 +92,51 @@ fn d7_clock_ticking() {
 }
 
 #[test]
+fn d8_concurrency() {
+    let r = check("D8/violation");
+    // `static mut`, `std::thread`, and `thread::spawn`.
+    assert_eq!(rules(&r), ["D8", "D8", "D8"], "{:?}", r.violations);
+    assert!(r.violations[0].rel.ends_with("dram/src/racy.rs"));
+    let r = check("D8/waived");
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+    assert_eq!(r.waived, 3);
+}
+
+#[test]
+fn d9_merge_totality() {
+    let r = check("D9/violation");
+    assert_eq!(rules(&r), ["D9"], "{:?}", r.violations);
+    assert!(
+        r.violations[0].msg.contains("other.peak"),
+        "{:?}",
+        r.violations
+    );
+    let r = check("D9/waived");
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+    assert_eq!(r.waived, 1);
+}
+
+#[test]
+fn d10_waiver_debt() {
+    let r = check("D10/violation");
+    // A live waiver the baseline misses, and a baseline entry whose
+    // waiver is gone.
+    assert_eq!(rules(&r), ["D10", "D10"], "{:?}", r.violations);
+    assert!(r
+        .violations
+        .iter()
+        .any(|v| v.msg.contains("new waiver debt")));
+    assert!(r
+        .violations
+        .iter()
+        .any(|v| v.msg.contains("stale baseline entry")));
+    assert!(r.violations.iter().all(|v| v.rel == "lint_waivers.json"));
+    let r = check("D10/clean");
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+    assert_eq!(r.waived, 1);
+}
+
+#[test]
 fn w0_waiver_hygiene() {
     let r = check("W0/violation");
     // The reasonless waiver is reported AND fails to suppress its D4;

@@ -1,0 +1,6 @@
+//! D10 fixture: the waiver inventory matches the committed baseline.
+
+pub fn pick(xs: &[u64]) -> u64 {
+    // gsdram-lint: allow(D4) fixture: first element is guaranteed by construction
+    *xs.first().unwrap()
+}

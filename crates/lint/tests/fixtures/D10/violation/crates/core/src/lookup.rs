@@ -1,0 +1,7 @@
+//! D10 fixture: a live waiver the baseline has never seen (and a
+//! baseline entry for a waiver that does not exist).
+
+pub fn pick(xs: &[u64]) -> u64 {
+    // gsdram-lint: allow(D4) fixture: first element is guaranteed by construction
+    *xs.first().unwrap()
+}

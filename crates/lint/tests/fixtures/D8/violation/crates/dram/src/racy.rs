@@ -1,0 +1,7 @@
+//! D8 fixture: shared mutable state and ad-hoc threading in sim code.
+
+pub static mut HITS: u64 = 0;
+
+pub fn count() {
+    std::thread::spawn(|| unsafe { HITS += 1 });
+}

@@ -1,0 +1,9 @@
+//! D8 fixture: the same constructs, waived with a justification.
+
+// gsdram-lint: allow(D8) fixture: pretend this counter is a sanctioned debug probe
+pub static mut HITS: u64 = 0;
+
+pub fn count() {
+    // gsdram-lint: allow(D8) fixture: pretend this worker is the sanctioned parallel site
+    std::thread::spawn(|| unsafe { HITS += 1 });
+}

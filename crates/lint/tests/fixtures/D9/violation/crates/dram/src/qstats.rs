@@ -1,0 +1,14 @@
+//! D9 fixture: a stats merge that silently drops a field.
+
+pub struct QueueStats {
+    pub enq: u64,
+    pub deq: u64,
+    pub peak: u64,
+}
+
+impl QueueStats {
+    pub fn merge(&mut self, other: &Self) {
+        self.enq += other.enq;
+        self.deq += other.deq;
+    }
+}

@@ -1,0 +1,16 @@
+//! D9 fixture: the same partial merge, waived with the invariant that
+//! makes dropping the field sound.
+
+pub struct QueueStats {
+    pub enq: u64,
+    pub deq: u64,
+    pub peak: u64,
+}
+
+impl QueueStats {
+    // gsdram-lint: allow(D9) peak is recomputed by the report assembler, not additive
+    pub fn merge(&mut self, other: &Self) {
+        self.enq += other.enq;
+        self.deq += other.deq;
+    }
+}

@@ -1,0 +1,97 @@
+//! Item-parser structural properties over the real workspace corpus.
+//!
+//! The structural rules (D8/D9) trust three parser invariants, checked
+//! here against every `.rs` file the linter actually scans:
+//!
+//! * sibling item spans are ordered and disjoint;
+//! * children lie inside their parent's body span;
+//! * every code token of a file falls inside some top-level item span
+//!   (totality: unknown syntax degrades to `Other`, never to a gap).
+
+use std::path::Path;
+
+use gsdram_lint::items::{parse_items, Item};
+use gsdram_lint::workspace;
+
+fn check_seq(rel: &str, items: &[Item], bounds: Option<(usize, usize)>) {
+    let mut at = bounds.map_or(0, |b| b.0);
+    for it in items {
+        assert!(
+            it.span.0 >= at,
+            "{rel}: item at byte {} overlaps its predecessor",
+            it.span.0
+        );
+        assert!(it.span.1 > it.span.0, "{rel}: empty item span");
+        at = it.span.1;
+        if let Some((_, end)) = bounds {
+            assert!(it.span.1 <= end, "{rel}: child escapes its parent body");
+        }
+        if !it.children.is_empty() {
+            let body = it.body.expect("children imply a recorded body span");
+            assert!(
+                body.0 >= it.span.0 && body.1 <= it.span.1,
+                "{rel}: body outside the item"
+            );
+            check_seq(rel, &it.children, Some(body));
+        }
+    }
+}
+
+#[test]
+fn item_spans_tile_every_workspace_file() {
+    let root = workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("test runs inside the workspace");
+    let ws = workspace::load(&root).expect("workspace loads");
+    assert!(
+        ws.files.len() > 50,
+        "workspace walk found only {} files",
+        ws.files.len()
+    );
+    for f in &ws.files {
+        let items = parse_items(f);
+        check_seq(&f.rel, &items, None);
+        for &i in &f.code_tokens() {
+            let t = &f.tokens[i];
+            assert!(
+                items
+                    .iter()
+                    .any(|it| t.start >= it.span.0 && t.end <= it.span.1),
+                "{}: code token {:?} at byte {} is outside every top-level item",
+                f.rel,
+                &f.src[t.start..t.end],
+                t.start,
+            );
+        }
+    }
+}
+
+#[test]
+fn workspace_yields_structural_facts_not_just_spans() {
+    // Guard against the parser degrading into one big `Other` per
+    // file: over the real corpus it must recognise a healthy number of
+    // named items.
+    let root = workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).unwrap();
+    let ws = workspace::load(&root).unwrap();
+    let mut fns = 0usize;
+    let mut structs_with_fields = 0usize;
+    let mut impls = 0usize;
+    for f in &ws.files {
+        for it in parse_items(f) {
+            it.walk(&mut |i| {
+                use gsdram_lint::items::ItemKind;
+                match i.kind {
+                    ItemKind::Fn => fns += 1,
+                    ItemKind::Struct if !i.fields.is_empty() => structs_with_fields += 1,
+                    ItemKind::Impl => impls += 1,
+                    _ => {}
+                }
+            });
+        }
+    }
+    assert!(fns > 500, "only {fns} fns parsed across the workspace");
+    assert!(
+        structs_with_fields > 50,
+        "only {structs_with_fields} field-bearing structs"
+    );
+    assert!(impls > 100, "only {impls} impl blocks");
+}

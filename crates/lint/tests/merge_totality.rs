@@ -1,0 +1,72 @@
+//! Acceptance pin for rule D9 on the real controller stats: deleting
+//! any single field-read from `ControllerStats::merge` must fail D9,
+//! and the unmodified file must pass. This replaces the hand-written
+//! per-field merge test as the thing that keeps parallel sweeps
+//! honest — the rule now generalises to every future `*Stats` struct.
+
+use std::fs;
+use std::path::PathBuf;
+
+use gsdram_lint::items::{parse_items, Field, ItemKind};
+use gsdram_lint::rules::check_workspace;
+use gsdram_lint::scan::SourceFile;
+
+const REL: &str = "crates/dram/src/controller.rs";
+
+fn controller_src() -> String {
+    let p = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../dram/src/controller.rs");
+    fs::read_to_string(p).expect("controller.rs readable")
+}
+
+fn parse(src: &str) -> SourceFile {
+    SourceFile::parse(PathBuf::from(REL), REL.to_string(), src.to_string())
+}
+
+fn d9_messages(src: &str) -> Vec<String> {
+    check_workspace(&[parse(src)], None, None)
+        .violations
+        .into_iter()
+        .filter(|v| v.rule == "D9")
+        .map(|v| v.msg)
+        .collect()
+}
+
+fn controller_stats_fields(src: &str) -> Vec<Field> {
+    let f = parse(src);
+    let mut fields = Vec::new();
+    for it in parse_items(&f) {
+        it.walk(&mut |i| {
+            if i.kind == ItemKind::Struct && i.name == "ControllerStats" {
+                fields = i.fields.clone();
+            }
+        });
+    }
+    fields
+}
+
+#[test]
+fn controller_stats_merge_is_total_today() {
+    let msgs = d9_messages(&controller_src());
+    assert!(msgs.is_empty(), "{msgs:?}");
+}
+
+#[test]
+fn dropping_any_single_field_read_fails_d9() {
+    let src = controller_src();
+    let fields = controller_stats_fields(&src);
+    assert!(
+        fields.len() >= 17,
+        "ControllerStats lost fields? found {}",
+        fields.len()
+    );
+    for fld in &fields {
+        let read = format!("other.{}", fld.name);
+        let mutated = src.replace(&read, "0");
+        assert_ne!(mutated, src, "merge never mentioned `{read}`?");
+        let msgs = d9_messages(&mutated);
+        assert!(
+            msgs.iter().any(|m| m.contains(&read)),
+            "dropping `{read}` went unflagged; D9 reported: {msgs:?}"
+        );
+    }
+}

@@ -72,10 +72,19 @@ fn hostile_inputs_round_trip_without_panicking() {
         "b\"bytes\\\"\"",
         "br#\"raw bytes\"#",
         "r#type",
+        "r#match",
+        "r#as.r#await",
+        "let r#fn = 1;",
+        "rb\"not a prefix\"",
+        "r###\"deep \"## inside\"###",
         "'a",
         "'x'",
         "'\\n'",
         "/* outer /* nested */ still */",
+        "/* \"/*\" x */ y */",
+        "/* \"*/\" */",
+        "/* r#\"*/ tail */",
+        "/* b\"*/\" */",
         "// line comment",
         "/// doc",
         "1e-9",
