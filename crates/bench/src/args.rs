@@ -71,6 +71,7 @@ impl Args {
         "hist",
         "all",
         "quick",
+        "shard",
     ];
 
     /// `--name value` lookup.

@@ -12,7 +12,8 @@ use gsdram_core::port::EventSink;
 use gsdram_core::stats::{ReportStats, StatsNode};
 use gsdram_core::PatternId;
 use gsdram_dram::controller::{RowPolicy, SchedPolicy};
-use gsdram_dram::mapping::BankHash;
+use gsdram_dram::mapping::MapHash;
+use gsdram_dram::timing::TimingPack;
 use gsdram_patterns::{Compiled, PatternLayout, PatternSpec};
 use gsdram_system::config::SystemConfig;
 use gsdram_system::machine::{Machine, RunReport, StopWhen};
@@ -26,6 +27,51 @@ use gsdram_workloads::kvstore::{inserts, lookups, KvLayout, KvStore};
 use gsdram_workloads::transpose::{program as transpose_program, Transpose, TransposeLayout};
 
 use crate::args::Args;
+use crate::listing::{self, Entry};
+
+/// Channel/rank counts the CLI accepts: powers of two so every
+/// XOR-matrix mapping stage stays bijective (and `MAX_INDEX_BITS`
+/// bounds them well above any plausible config).
+const ACCEPTED_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Validates a `--channels`/`--ranks` count, with a proper CLI error
+/// instead of the assert the XOR stages would otherwise hit.
+fn validate_count(what: &str, n: usize) -> Result<(), String> {
+    if ACCEPTED_COUNTS.contains(&n) {
+        return Ok(());
+    }
+    Err(format!(
+        "invalid {what} {n}: accepted values are 1, 2, 4, 8, 16 \
+         (power-of-two counts keep the XOR-matrix mapping stages bijective)"
+    ))
+}
+
+/// The registered scheduling engines as listing entries (for the
+/// did-you-mean error on a bad `--sched`).
+fn sched_entries() -> Vec<Entry> {
+    vec![
+        Entry::new("fr-fcfs", "first-ready FCFS (Table 1 default)"),
+        Entry::new("fcfs", "strict arrival order per bank"),
+        Entry::new("fr-fcfs-cap", "FR-FCFS with starvation cap (`:N` to set)"),
+        Entry::new("bank-rr", "bank-round-robin batches (`:N` to set)"),
+    ]
+}
+
+/// The mapping presets as listing entries.
+fn mapping_entries() -> Vec<Entry> {
+    MapHash::VARIANTS
+        .iter()
+        .map(|&(_, name, note)| Entry::new(name, note))
+        .collect()
+}
+
+/// The timing packs as listing entries.
+fn timing_entries() -> Vec<Entry> {
+    TimingPack::VARIANTS
+        .iter()
+        .map(|&(_, name, note)| Entry::new(name, note))
+        .collect()
+}
 
 /// The machine half of a run spec (everything `SystemConfig` needs).
 #[derive(Debug, Clone, PartialEq)]
@@ -40,14 +86,21 @@ pub struct MachineSpec {
     pub impulse: bool,
     /// Memory scheduling policy.
     pub sched: SchedPolicy,
-    /// Bank-hash stage of the physical-address map.
-    pub mapping: BankHash,
+    /// XOR-stage preset of the physical-address map.
+    pub mapping: MapHash,
     /// Row-buffer management policy.
     pub row_policy: RowPolicy,
     /// DRAM ranks.
     pub ranks: usize,
     /// DRAM channels.
     pub channels: usize,
+    /// DDR timing pack.
+    pub timing: TimingPack,
+    /// Shard per-channel controller advance across threads (pure
+    /// wall-clock optimisation, bit-identical results — deliberately
+    /// absent from [`describe`](Self::describe) so sharded and serial
+    /// figure JSON diff clean).
+    pub shard: bool,
 }
 
 impl MachineSpec {
@@ -59,10 +112,12 @@ impl MachineSpec {
             prefetch: false,
             impulse: false,
             sched: SchedPolicy::FrFcfs,
-            mapping: BankHash::Direct,
+            mapping: MapHash::Direct,
             row_policy: RowPolicy::Open,
             ranks: 1,
             channels: 1,
+            timing: TimingPack::Ddr3_1600,
+            shard: false,
         }
     }
 
@@ -80,10 +135,15 @@ impl MachineSpec {
 
     /// Applies the shared machine flags (`--prefetch`, `--impulse`,
     /// `--fcfs`, `--sched <policy>`, `--mapping <hash>`,
-    /// `--closed-row`, `--ranks`, `--channels`) on top of this spec —
-    /// the one definition both `gsdram-sim` and the experiment
-    /// binaries use.
-    pub fn with_args(mut self, args: &Args) -> Self {
+    /// `--timing <pack>`, `--closed-row`, `--ranks`, `--channels`,
+    /// `--shard`) on top of this spec — the one definition both
+    /// `gsdram-sim` and the experiment binaries use.
+    ///
+    /// Unknown policy/preset names and out-of-range counts are hard
+    /// CLI errors (with a did-you-mean suggestion and the accepted
+    /// listing), not warn-and-keep: a silently substituted machine
+    /// would produce figures for a config the user never asked for.
+    pub fn with_args(mut self, args: &Args) -> Result<Self, String> {
         if args.flag("--prefetch") {
             self.prefetch = true;
         }
@@ -96,27 +156,53 @@ impl MachineSpec {
         if let Some(s) = args.value("--sched") {
             match SchedPolicy::parse(&s) {
                 Some(p) => self.sched = p,
-                None => eprintln!(
-                    "warning: unknown --sched '{s}' (try fr-fcfs, fcfs, fr-fcfs-cap[:N], bank-rr[:N]); keeping {}",
-                    self.sched.label()
-                ),
+                None => {
+                    return Err(listing::unknown(
+                        "--sched",
+                        &s,
+                        "scheduling policies",
+                        &sched_entries(),
+                    ))
+                }
             }
         }
         if let Some(s) = args.value("--mapping") {
-            match BankHash::parse(&s) {
+            match MapHash::parse(&s) {
                 Some(h) => self.mapping = h,
-                None => eprintln!(
-                    "warning: unknown --mapping '{s}' (try direct, xor-bank); keeping {}",
-                    self.mapping.label()
-                ),
+                None => {
+                    return Err(listing::unknown(
+                        "--mapping",
+                        &s,
+                        "mapping presets",
+                        &mapping_entries(),
+                    ))
+                }
+            }
+        }
+        if let Some(s) = args.value("--timing") {
+            match TimingPack::parse(&s) {
+                Some(t) => self.timing = t,
+                None => {
+                    return Err(listing::unknown(
+                        "--timing",
+                        &s,
+                        "timing packs",
+                        &timing_entries(),
+                    ))
+                }
             }
         }
         if args.flag("--closed-row") {
             self.row_policy = RowPolicy::Closed;
         }
+        if args.flag("--shard") {
+            self.shard = true;
+        }
         self.ranks = args.usize("--ranks", self.ranks);
         self.channels = args.usize("--channels", self.channels);
-        self
+        validate_count("--ranks", self.ranks)?;
+        validate_count("--channels", self.channels)?;
+        Ok(self)
     }
 
     /// The `SystemConfig` this spec describes.
@@ -127,6 +213,12 @@ impl MachineSpec {
         }
         if self.impulse {
             cfg = cfg.with_impulse();
+        }
+        if self.timing != TimingPack::default() {
+            cfg = cfg.with_timing(self.timing);
+        }
+        if self.shard {
+            cfg = cfg.with_shard();
         }
         cfg.controller.policy = self.sched;
         cfg.controller.row_policy = self.row_policy;
@@ -140,12 +232,14 @@ impl MachineSpec {
     }
 
     /// One-line description for reports. The non-default axes
-    /// (`mapping=`) only appear when set, so descriptions of Table 1
-    /// machines — and hence the frozen figure JSON — are unchanged by
-    /// new axes.
+    /// (`mapping=`, `timing=`) only appear when set, so descriptions
+    /// of Table 1 machines — and hence the frozen figure JSON — are
+    /// unchanged by new axes. `shard` is deliberately never shown:
+    /// it changes wall-clock only, and sharded vs serial figure JSON
+    /// must byte-diff clean.
     pub fn describe(&self) -> String {
         format!(
-            "cores={} mem={}MiB{}{} sched={} row={} ranks={} channels={}{}",
+            "cores={} mem={}MiB{}{} sched={} row={} ranks={} channels={}{}{}",
             self.cores,
             self.mem_bytes >> 20,
             if self.prefetch { " prefetch" } else { "" },
@@ -157,10 +251,15 @@ impl MachineSpec {
             },
             self.ranks,
             self.channels,
-            if self.mapping == BankHash::Direct {
+            if self.mapping == MapHash::Direct {
                 String::new()
             } else {
                 format!(" mapping={}", self.mapping.label())
+            },
+            if self.timing == TimingPack::default() {
+                String::new()
+            } else {
+                format!(" timing={}", self.timing.label())
             }
         )
     }
@@ -720,7 +819,7 @@ mod tests {
     #[test]
     fn machine_spec_args_roundtrip() {
         let args = Args::new(["--prefetch", "--fcfs", "--ranks", "2"]);
-        let ms = MachineSpec::table1(1, 1 << 20).with_args(&args);
+        let ms = MachineSpec::table1(1, 1 << 20).with_args(&args).unwrap();
         assert!(ms.prefetch);
         assert_eq!(ms.sched, SchedPolicy::Fcfs);
         assert_eq!(ms.ranks, 2);
@@ -732,17 +831,57 @@ mod tests {
     #[test]
     fn machine_spec_sched_mapping_args() {
         let args = Args::new(["--sched", "fr-fcfs-cap:6", "--mapping", "xor-bank"]);
-        let ms = MachineSpec::table1(1, 1 << 20).with_args(&args);
+        let ms = MachineSpec::table1(1, 1 << 20).with_args(&args).unwrap();
         assert_eq!(ms.sched, SchedPolicy::FrFcfsCap { cap: 6 });
-        assert_eq!(ms.mapping, BankHash::XorRow);
+        assert_eq!(ms.mapping, MapHash::XorBank);
         let cfg = ms.config();
         assert_eq!(cfg.controller.policy, SchedPolicy::FrFcfsCap { cap: 6 });
-        assert_eq!(cfg.mapping, BankHash::XorRow);
-        // Invalid values warn and keep the current setting.
-        let bad = Args::new(["--sched", "nope", "--mapping", "nope"]);
-        let ms = MachineSpec::table1(1, 1 << 20).with_args(&bad);
-        assert_eq!(ms.sched, SchedPolicy::FrFcfs);
-        assert_eq!(ms.mapping, BankHash::Direct);
+        assert_eq!(cfg.mapping, MapHash::XorBank);
+    }
+
+    #[test]
+    fn machine_spec_timing_and_shard_args() {
+        let args = Args::new(["--timing", "ddr4-2400", "--shard", "--channels", "4"]);
+        let ms = MachineSpec::table1(1, 1 << 20).with_args(&args).unwrap();
+        assert_eq!(ms.timing, TimingPack::Ddr4_2400);
+        assert!(ms.shard);
+        assert_eq!(ms.channels, 4);
+        let cfg = ms.config();
+        assert_eq!(cfg.cpu_per_mem, 3);
+        assert!(cfg.shard);
+        assert_eq!(cfg.channels, 4);
+    }
+
+    #[test]
+    fn machine_spec_rejects_unknown_names_with_suggestions() {
+        let base = || MachineSpec::table1(1, 1 << 20);
+        let e = base()
+            .with_args(&Args::new(["--sched", "fr-fcsf"]))
+            .unwrap_err();
+        assert!(e.contains("did you mean 'fr-fcfs'"), "{e}");
+        let e = base()
+            .with_args(&Args::new(["--mapping", "xor-bnak"]))
+            .unwrap_err();
+        assert!(e.contains("did you mean 'xor-bank'"), "{e}");
+        let e = base()
+            .with_args(&Args::new(["--timing", "ddr4-2433"]))
+            .unwrap_err();
+        assert!(e.contains("did you mean 'ddr4-2400'"), "{e}");
+        // Every error carries the full listing for the flag.
+        assert!(e.contains("ddr3-1600"), "{e}");
+    }
+
+    #[test]
+    fn machine_spec_rejects_non_power_of_two_counts() {
+        let e = MachineSpec::table1(1, 1 << 20)
+            .with_args(&Args::new(["--channels", "3"]))
+            .unwrap_err();
+        assert!(e.contains("invalid --channels 3"), "{e}");
+        assert!(e.contains("1, 2, 4, 8, 16"), "{e}");
+        let e = MachineSpec::table1(1, 1 << 20)
+            .with_args(&Args::new(["--ranks", "6"]))
+            .unwrap_err();
+        assert!(e.contains("invalid --ranks 6"), "{e}");
     }
 
     #[test]
@@ -754,10 +893,19 @@ mod tests {
         );
         let mut ms = ms;
         ms.sched = SchedPolicy::BankRr { batch: 4 };
-        ms.mapping = BankHash::XorRow;
+        ms.mapping = MapHash::XorBank;
         assert_eq!(
             ms.describe(),
             "cores=1 mem=1MiB sched=bank-rr4 row=open ranks=1 channels=1 mapping=xor-bank"
         );
+        ms.timing = TimingPack::Ddr4_2400;
+        assert_eq!(
+            ms.describe(),
+            "cores=1 mem=1MiB sched=bank-rr4 row=open ranks=1 channels=1 mapping=xor-bank timing=ddr4-2400"
+        );
+        // Sharding must never leak into the description: sharded and
+        // serial runs of the same machine byte-diff their figure JSON.
+        ms.shard = true;
+        assert!(!ms.describe().contains("shard"));
     }
 }

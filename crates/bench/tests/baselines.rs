@@ -70,6 +70,33 @@ fn pattern_indirect_json_matches_committed_baseline() {
     );
 }
 
+/// The multi-channel scaling experiment has its own committed baseline
+/// (generated at the perf-quick pinned size). Channel counts beyond
+/// one exercise the whole XOR-matrix mapping pipeline and the
+/// per-channel controller plumbing, so this pin is what freezes the
+/// multi-channel decomposition: a byte moving here means addresses
+/// started landing on different channels.
+#[test]
+fn scale_channels_json_matches_committed_baseline() {
+    let def = find("scale_channels").expect("registered");
+    let args = Args::new(["--tuples", "2048"]);
+    let node = run_experiment(def, &args);
+    let want = include_str!("baselines/scale_channels_small.json");
+    assert!(
+        node.to_json_pretty() == want,
+        "scale_channels JSON drifted from crates/bench/tests/baselines/scale_channels_small.json"
+    );
+    // The figure must actually separate the channel counts on the
+    // bandwidth-bound row store, and speedups must stay sane.
+    let ch1 = summary_child(&node, "ch1");
+    let ch4 = summary_child(&node, "ch4");
+    assert_eq!(ch1.gauge_at("row_speedup_vs_1ch"), Some(1.0));
+    assert!(
+        ch4.gauge_at("row_mcycles") < ch1.gauge_at("row_mcycles"),
+        "four channels must beat one on the row-store scan"
+    );
+}
+
 fn summary_child<'a>(root: &'a StatsNode, config: &str) -> &'a StatsNode {
     let summary = root
         .children()

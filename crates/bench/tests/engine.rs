@@ -183,6 +183,24 @@ fn pattern_experiments_are_deterministic_serial_and_parallel() {
     }
 }
 
+/// The shard-determinism pin at the registry level: `scale_channels`
+/// run with `--shard` (multi-channel controllers advanced on worker
+/// threads inside each machine) emits figure JSON byte-identical to
+/// the plain `--serial` run. This is the in-process counterpart of
+/// CI's two-process shard byte-diff, and the machine-scope leg of the
+/// proof obligation carried by `gsdram_dram::shard`'s D8 waiver.
+#[test]
+fn sharded_scale_channels_is_byte_identical_to_serial() {
+    let def = find("scale_channels").expect("registered");
+    let serial = run_experiment(def, &Args::new(["--tuples", "2048", "--serial"]));
+    let sharded = run_experiment(def, &Args::new(["--tuples", "2048", "--serial", "--shard"]));
+    assert_eq!(serial, sharded, "sharding must not change any result");
+    assert_eq!(serial.to_json_pretty(), sharded.to_json_pretty());
+    // And the sharded run itself is reproducible run-to-run.
+    let again = run_experiment(def, &Args::new(["--tuples", "2048", "--serial", "--shard"]));
+    assert_eq!(sharded.to_json_pretty(), again.to_json_pretty());
+}
+
 /// Every value kind an experiment emits (counters, gauges, text,
 /// nested children) must survive serialise → parse → compare.
 #[test]

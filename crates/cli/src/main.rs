@@ -42,10 +42,14 @@
 //!   --fcfs         FCFS scheduling instead of FR-FCFS
 //!   --sched P      scheduling engine: fr-fcfs (default), fcfs,
 //!                  fr-fcfs-cap[:N] (starvation cap), bank-rr[:N]
-//!   --mapping M    bank-hash stage: direct (default) or xor-bank
+//!   --mapping M    XOR-stage preset: direct (default), xor-bank,
+//!                  xor-rank, xor-channel, xor-all
+//!   --timing T     timing pack: ddr3-1600 (default) or ddr4-2400
 //!   --closed-row   closed-row buffer management
-//!   --ranks N      DRAM ranks                   (default 1)
-//!   --channels N   DRAM channels                (default 1)
+//!   --ranks N      DRAM ranks                   (default 1; 1,2,4,8,16)
+//!   --channels N   DRAM channels                (default 1; 1,2,4,8,16)
+//!   --shard        advance channels on worker threads (bit-identical
+//!                  results, faster wall-clock on multi-channel runs)
 //!   --seed N       workload RNG seed            (default 42)
 //!   --json PATH    write the run's stats tree as JSON
 //! ```
@@ -353,11 +357,18 @@ fn pattern_cmd(args: &Args) -> ExitCode {
         },
         None => vec![PatternLayout::Row, PatternLayout::GsDram],
     };
+    let machine = match MachineSpec::table1(1, spec.mem_bytes_hint()).with_args(args) {
+        Ok(ms) => ms,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let mut cycles: Vec<(PatternLayout, u64)> = Vec::new();
     for layout in layouts {
         let rs = RunSpec {
             id: format!("pattern/{}/{}", spec.name, layout.label()),
-            machine: MachineSpec::table1(1, spec.mem_bytes_hint()).with_args(args),
+            machine: machine.clone(),
             workload: WorkloadSpec::Pattern {
                 spec: spec.clone(),
                 layout,
@@ -409,9 +420,23 @@ fn main() -> ExitCode {
     let seed = args.u64("--seed", 42);
     let mem = (tuples as usize * 64 * 2).max(16 << 20);
     // The one machine-flag parser shared with the experiment engine
-    // (--prefetch, --impulse, --fcfs, --sched, --mapping, --closed-row,
-    // --ranks, --channels).
-    let machine = |cores: usize, mem: usize| MachineSpec::table1(cores, mem).with_args(&args);
+    // (--prefetch, --impulse, --fcfs, --sched, --mapping, --timing,
+    // --closed-row, --ranks, --channels, --shard). Parsed once up
+    // front so a bad flag fails before any workload builds memory;
+    // each workload then patches in its core count and memory size.
+    let parsed = match MachineSpec::table1(1, mem).with_args(&args) {
+        Ok(ms) => ms,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let machine = |cores: usize, mem: usize| {
+        let mut ms = parsed.clone();
+        ms.cores = cores;
+        ms.mem_bytes = mem;
+        ms
+    };
 
     match workload.as_str() {
         "transactions" => {

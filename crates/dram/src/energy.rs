@@ -57,6 +57,26 @@ impl PowerParams {
             chips: 8,
         }
     }
+
+    /// Representative 8 Gb x8 DDR4-2400 device in an 8-chip rank:
+    /// lower VDD and standby currents than DDR3, larger refresh
+    /// current for the denser die. Paired with
+    /// [`TimingParams::ddr4_2400`](crate::timing::TimingParams::ddr4_2400).
+    pub fn ddr4_2400_x8() -> Self {
+        PowerParams {
+            vdd: 1.2,
+            idd0: 55.0,
+            idd2n: 34.0,
+            idd3n: 38.0,
+            idd4r: 140.0,
+            idd4w: 145.0,
+            idd5: 190.0,
+            idd2p: 10.0,
+            powerdown_threshold: 30,
+            io_pj_per_bit: 4.5,
+            chips: 8,
+        }
+    }
 }
 
 impl Default for PowerParams {

@@ -188,8 +188,10 @@ const D8_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqC
 
 /// Files rule D8 covers: simulation-crate library code (telemetry
 /// included — collectors run inside the sim loop) plus the bench
-/// crate's library, which hosts the one sanctioned parallel site (the
-/// sweep runner, waived in place).
+/// crate's library. The two sanctioned parallel sites — the sweep
+/// runner in `bench/src/sweep.rs` and the channel-shard advance in
+/// `dram/src/shard.rs` — carry in-place waivers with their proof
+/// obligations.
 fn d8_covers(f: &SourceFile) -> bool {
     f.class.is_sim_lib(true)
         || (f.class.kind == FileKind::Lib && f.class.crate_name.as_deref() == Some("bench"))
@@ -486,8 +488,10 @@ fn check_clock_ticking(f: &SourceFile, report: &mut Report) {
 /// threads; "parallel ≡ serial" stays provable only if the simulation
 /// itself is statically barred from `static mut`, `std::sync`
 /// primitives, atomics with their memory orderings, and thread
-/// spawning. The sweep runner in `bench/src/sweep.rs` is the one
-/// sanctioned parallel site and carries in-place waivers.
+/// spawning. The sanctioned parallel sites — the sweep runner in
+/// `bench/src/sweep.rs` and the channel-shard advance in
+/// `dram/src/shard.rs` — carry in-place waivers tied to their
+/// sharded ≡ serial proofs.
 fn check_concurrency(f: &SourceFile, report: &mut Report) {
     if !d8_covers(f) {
         return;

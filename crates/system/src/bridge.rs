@@ -26,6 +26,7 @@ use std::collections::BTreeMap;
 use gsdram_cache::cache::LineKey;
 use gsdram_cache::overlap::OverlapCalc;
 use gsdram_core::port::{EventHub, MemReq, SimEvent};
+use gsdram_core::stats::{ReportStats, StatsNode};
 use gsdram_core::time::TimeFold;
 use gsdram_core::{cast, ColumnId, Geometry, GsModule, PatternId, RowId};
 use gsdram_dram::controller::{
@@ -33,6 +34,7 @@ use gsdram_dram::controller::{
 };
 use gsdram_dram::energy::EnergyBreakdown;
 use gsdram_dram::mapping::AddressMap;
+use gsdram_dram::shard;
 use gsdram_telemetry::Histogram;
 
 use crate::config::{GatherSupport, SystemConfig};
@@ -81,12 +83,63 @@ pub(crate) struct FetchDone {
     pub(crate) done_at: u64,
 }
 
+/// What the bridge enqueued on one channel: the cross-channel load
+/// split, counted at the enqueue boundary (controller stats count
+/// issued commands; this counts logical sub-requests routed there).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelLoadStats {
+    /// Read sub-requests routed to the channel.
+    pub reads: u64,
+    /// Write sub-requests routed to the channel.
+    pub writes: u64,
+}
+
+impl ChannelLoadStats {
+    /// Folds another channel's load into this one — the aggregation
+    /// point the per-channel merge-exactness test exercises.
+    pub fn merge(&mut self, other: &Self) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+    }
+}
+
+impl ReportStats for ChannelLoadStats {
+    fn stats_node(&self, name: &str) -> StatsNode {
+        StatsNode::new(name)
+            .counter("enq_reads", self.reads)
+            .counter("enq_writes", self.writes)
+    }
+}
+
+/// One channel's telemetry snapshot: routed load, controller counters
+/// and energy, reported as a per-channel subtree when a machine has
+/// more than one channel.
+#[derive(Debug, Clone)]
+pub struct ChannelReport {
+    /// Sub-requests the bridge routed to the channel.
+    pub load: ChannelLoadStats,
+    /// The channel controller's counters.
+    pub dram: ControllerStats,
+    /// The channel's energy breakdown.
+    pub energy: EnergyBreakdown,
+}
+
+impl ReportStats for ChannelReport {
+    fn stats_node(&self, name: &str) -> StatsNode {
+        self.load
+            .stats_node(name)
+            .child(self.dram.stats_node("dram"))
+            .child(self.energy.stats_node("energy"))
+    }
+}
+
 /// The DRAM side of the machine. See the [module docs](self).
 #[derive(Debug)]
 pub struct DramBridge {
     module: GsModule,
     map: AddressMap,
     controllers: Vec<MemController>,
+    loads: Vec<ChannelLoadStats>,
     overlap: OverlapCalc,
     gather: GatherSupport,
     chips: usize,
@@ -109,14 +162,15 @@ impl DramBridge {
         let geom = Geometry::ddr3_row(&cfg.gsdram, rows.max(1)).expect("valid geometry");
         DramBridge {
             module: GsModule::new(cfg.gsdram.clone(), geom),
-            map: AddressMap::with_ranks(
+            map: AddressMap::with_shape(
                 cast::widen(cfg.l2.line_bytes),
                 128,
                 cast::widen(cfg.controller.banks),
                 cast::widen(cfg.controller.ranks),
+                cast::widen(cfg.channels.max(1)),
                 gsdram_dram::mapping::Interleave::ColumnFirst,
             )
-            .with_bank_hash(cfg.mapping),
+            .with_hash(cfg.mapping),
             controllers: (0..cfg.channels.max(1))
                 .map(|ch| {
                     let mut c = MemController::new(cfg.controller.clone());
@@ -124,6 +178,7 @@ impl DramBridge {
                     c
                 })
                 .collect(),
+            loads: vec![ChannelLoadStats::default(); cfg.channels.max(1)],
             overlap: OverlapCalc::new(cfg.gsdram.clone(), cast::widen(cfg.l2.line_bytes), 128),
             gather: cfg.gather,
             chips: cfg.gsdram.chips(),
@@ -147,19 +202,6 @@ impl DramBridge {
 
     pub(crate) fn to_cpu(&self, mem: u64) -> u64 {
         mem * self.cpu_per_mem
-    }
-
-    /// The channel serving `addr` and the channel-local address
-    /// (row-granularity interleave: channel bits sit just above the
-    /// row-offset bits, so one DRAM row — and hence every gathered
-    /// line — stays on one channel).
-    fn channel_of(&self, addr: u64) -> (usize, u64) {
-        let channels = cast::widen(self.controllers.len());
-        let rb = self.overlap.row_bytes();
-        let row = addr / rb;
-        let channel = cast::to_usize(row % channels);
-        let local = (row / channels) * rb + addr % rb;
-        (channel, local)
     }
 
     fn row_col(&self, addr: u64) -> (RowId, ColumnId, usize) {
@@ -278,20 +320,27 @@ impl DramBridge {
             });
         }
         for &(a, pattern) in &subs {
-            let (ch, local) = self.channel_of(a);
+            // One decompose drives both routing and coordinates: the
+            // map's channel stage picks the controller (under the
+            // default ColumnFirst split, channel bits sit just above
+            // the row-offset bits, so one DRAM row — and hence every
+            // gathered line — stays on one channel).
+            let loc = self.map.decompose(a);
+            let ch = loc.channel;
             let at = self.to_mem(at_cpu).max(self.controllers[ch].now());
             let id = self.alloc_req_id();
             let req = MemRequest {
                 id,
-                loc: self.map.decompose(local),
+                loc,
                 pattern,
                 kind: AccessKind::Write,
             };
+            self.loads[ch].writes += 1;
             self.controllers[ch].enqueue(req, at);
             events.emit(|| SimEvent::DramEnqueue {
                 id,
                 channel: ch,
-                addr: local,
+                addr: a,
                 pattern,
                 write: true,
                 at_mem: at,
@@ -336,21 +385,23 @@ impl DramBridge {
         );
         self.by_key.insert(key, parent);
         for &(a, pattern) in &subs {
-            let (ch, local) = self.channel_of(a);
+            let loc = self.map.decompose(a);
+            let ch = loc.channel;
             let at = self.to_mem(at_cpu).max(self.controllers[ch].now());
             let id = self.alloc_req_id();
             self.parent_of.insert(id, parent);
             let req = MemRequest {
                 id,
-                loc: self.map.decompose(local),
+                loc,
                 pattern,
                 kind: AccessKind::Read,
             };
+            self.loads[ch].reads += 1;
             self.controllers[ch].enqueue(req, at);
             events.emit(|| SimEvent::DramEnqueue {
                 id,
                 channel: ch,
-                addr: local,
+                addr: a,
                 pattern,
                 write: false,
                 at_mem: at,
@@ -377,8 +428,20 @@ impl DramBridge {
         true
     }
 
-    pub(crate) fn advance_channel(&mut self, ch: usize, t_mem: u64, events: &mut EventHub) {
-        self.controllers[ch].advance_observed(t_mem, events);
+    /// Advances every channel to `t_mem`. When `shard_ok` is set, no
+    /// observer is attached, and the span carries enough work to
+    /// amortise thread spawn, the channels advance on one thread each
+    /// ([`shard::advance_sharded`]); the serial loop runs otherwise.
+    /// Controllers are disjoint, so the two paths are bit-identical —
+    /// the shard gate is purely a wall-clock decision.
+    pub(crate) fn advance_all(&mut self, t_mem: u64, shard_ok: bool, events: &mut EventHub) {
+        if shard_ok && !events.is_attached() && shard::worth_sharding(&self.controllers, t_mem) {
+            shard::advance_sharded(&mut self.controllers, t_mem);
+        } else {
+            for c in &mut self.controllers {
+                c.advance_observed(t_mem, events);
+            }
+        }
     }
 
     /// The exact next memory-clock cycle at which any channel's state
@@ -495,6 +558,20 @@ impl DramBridge {
             .collect()
     }
 
+    /// Per-channel telemetry snapshots (routed load, controller
+    /// counters, energy), in channel order.
+    pub(crate) fn channel_reports(&self) -> Vec<ChannelReport> {
+        self.controllers
+            .iter()
+            .zip(&self.loads)
+            .map(|(c, &load)| ChannelReport {
+                load,
+                dram: c.stats(),
+                energy: c.energy(),
+            })
+            .collect()
+    }
+
     /// DRAM energy summed over all channels.
     pub(crate) fn energy(&self) -> EnergyBreakdown {
         let mut total = EnergyBreakdown::default();
@@ -570,9 +647,15 @@ impl Machine {
             self.bridge.leap_to(t_mem, &mut self.events);
             return;
         }
+        // Advance every channel to the horizon first — the controllers
+        // are independent, so this is where the sharded advance slots
+        // in — then drain and deliver per channel. Delivery can
+        // enqueue fresh writebacks; those land at or after `t_mem` and
+        // are processed by the next sync, on every path identically.
+        self.bridge
+            .advance_all(t_mem, self.cfg.shard, &mut self.events);
         let mut comps = std::mem::take(&mut self.comp_buf);
         for ch in 0..self.bridge.channels() {
-            self.bridge.advance_channel(ch, t_mem, &mut self.events);
             comps.clear();
             self.bridge
                 .take_channel_completions_into(ch, t_mem, &mut comps);

@@ -3,7 +3,8 @@
 use gsdram_cache::cache::CacheConfig;
 use gsdram_core::GsDramConfig;
 use gsdram_dram::controller::{ControllerConfig, SchedPolicy};
-use gsdram_dram::mapping::BankHash;
+use gsdram_dram::mapping::MapHash;
+use gsdram_dram::timing::TimingPack;
 
 /// How strided gathers are realised by the memory system (the §7
 /// related-work axis).
@@ -61,9 +62,14 @@ pub struct SystemConfig {
     /// DRAM-row granularity, so a gathered line never spans channels
     /// (the simple end of the §4.2 interleaving discussion).
     pub channels: usize,
-    /// Bank-hash stage of the physical-address map (Table 1 uses the
-    /// direct map; the XOR hash is an ablation axis).
-    pub mapping: BankHash,
+    /// XOR-stage preset of the physical-address map (Table 1 uses the
+    /// direct map; the hash stages are ablation axes).
+    pub mapping: MapHash,
+    /// Shard per-channel controller advance across threads when a sync
+    /// spans enough work (never while a trace observer is attached —
+    /// results are bit-identical either way, see
+    /// [`gsdram_dram::shard`]).
+    pub shard: bool,
 }
 
 impl SystemConfig {
@@ -83,7 +89,8 @@ impl SystemConfig {
             shuffle_latency: 3,
             gather: GatherSupport::GsDram,
             channels: 1,
-            mapping: BankHash::Direct,
+            mapping: MapHash::Direct,
+            shard: false,
         }
     }
 
@@ -121,10 +128,25 @@ impl SystemConfig {
         self
     }
 
-    /// Uses bank-hash stage `mapping` in the physical-address map
+    /// Uses XOR-stage preset `mapping` in the physical-address map
     /// (Table 1 uses the direct map).
-    pub fn with_mapping(mut self, mapping: BankHash) -> Self {
+    pub fn with_mapping(mut self, mapping: MapHash) -> Self {
         self.mapping = mapping;
+        self
+    }
+
+    /// Re-times the memory system with a named [`TimingPack`]: the
+    /// constraint table and the CPU:memory clock ratio swap together.
+    pub fn with_timing(mut self, pack: TimingPack) -> Self {
+        self.controller.timing = pack.params();
+        self.cpu_per_mem = pack.cpu_per_mem();
+        self
+    }
+
+    /// Enables the sharded per-channel advance (a pure wall-clock
+    /// optimisation; simulated results are unchanged).
+    pub fn with_shard(mut self) -> Self {
+        self.shard = true;
         self
     }
 
@@ -180,12 +202,26 @@ mod tests {
     fn sched_and_mapping_builders() {
         let c = SystemConfig::default();
         assert_eq!(c.controller.policy, SchedPolicy::FrFcfs);
-        assert_eq!(c.mapping, BankHash::Direct);
+        assert_eq!(c.mapping, MapHash::Direct);
         let c = c
             .with_sched(SchedPolicy::FrFcfsCap { cap: 8 })
-            .with_mapping(BankHash::XorRow);
+            .with_mapping(MapHash::XorBank);
         assert_eq!(c.controller.policy, SchedPolicy::FrFcfsCap { cap: 8 });
-        assert_eq!(c.mapping, BankHash::XorRow);
+        assert_eq!(c.mapping, MapHash::XorBank);
+    }
+
+    #[test]
+    fn timing_pack_swaps_clock_ratio_with_constraints() {
+        let c = SystemConfig::default().with_timing(TimingPack::Ddr4_2400);
+        assert_eq!(c.cpu_per_mem, 3);
+        assert_eq!(c.controller.timing.tck_ps, 833);
+        let back = SystemConfig::default().with_timing(TimingPack::Ddr3_1600);
+        assert_eq!(back.cpu_per_mem, 5);
+        assert_eq!(
+            back.controller.timing,
+            SystemConfig::default().controller.timing,
+            "the DDR3 pack is the default"
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@ use gsdram_dram::controller::ControllerStats;
 use gsdram_dram::energy::EnergyBreakdown;
 use gsdram_telemetry::Histogram;
 
+use crate::bridge::ChannelReport;
 use crate::config::SystemConfig;
 use crate::energy::EnergyReport;
 use crate::exec::StopWhen;
@@ -31,8 +32,15 @@ pub struct RunReport {
     pub l1: Vec<CacheStats>,
     /// Shared L2 statistics.
     pub l2: CacheStats,
-    /// Memory controller statistics.
+    /// Memory controller statistics, merged over all channels.
     pub dram: ControllerStats,
+    /// Per-channel telemetry (routed load, controller counters,
+    /// energy). Always populated; emitted as a `dram_channels` subtree
+    /// only for multi-channel machines, so single-channel figure JSON
+    /// is byte-identical to the pre-channel era. The per-channel
+    /// entries merge exactly to the `dram`/`dram_energy` totals (the
+    /// merge-exactness test pins this).
+    pub dram_channels: Vec<ChannelReport>,
     /// Per-channel read-latency histograms (arrival to data-burst
     /// completion, in memory cycles). Maintained unconditionally by
     /// the controllers — present whether or not an observer was
@@ -100,6 +108,17 @@ impl ReportStats for RunReport {
             )
             .child(self.l2.stats_node("l2"))
             .child(self.dram.stats_node("dram"))
+            .children_from(
+                // Single-channel machines skip the subtree entirely:
+                // the frozen single-channel baselines must not move.
+                (self.dram_channels.len() > 1).then(|| {
+                    let mut n = StatsNode::new("dram_channels");
+                    for (ch, r) in self.dram_channels.iter().enumerate() {
+                        n = n.child(r.stats_node(&format!("ch{ch}")));
+                    }
+                    n
+                }),
+            )
             .child({
                 let mut hist = StatsNode::new("dram_hist");
                 for (ch, h) in self.dram_read_latency.iter().enumerate() {
@@ -158,6 +177,7 @@ impl Machine {
             l1,
             l2,
             dram,
+            dram_channels: self.bridge.channel_reports(),
             dram_read_latency: self.bridge.read_latency_hists(),
             dram_queue_depth: self.bridge.queue_depth_hists(),
             dram_energy,

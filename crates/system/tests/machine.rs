@@ -610,3 +610,98 @@ fn report_exposes_unconditional_dram_histograms() {
     );
     assert!(node.counter_at("dram_hist/queue_depth_ch0/count").is_some());
 }
+
+/// A multi-channel workload whose loads and stores spread over many
+/// DRAM rows (and hence all channels under the row-granularity
+/// interleave).
+fn channel_spread_ops(base: u64) -> Vec<Op> {
+    let mut ops = Vec::new();
+    for i in 0..384u64 {
+        ops.push(Op::Load {
+            pc: 1,
+            addr: base + (i * 8192 + (i % 7) * 64) % (6 << 20),
+            pattern: PatternId(0),
+        });
+        if i % 3 == 0 {
+            ops.push(Op::Store {
+                pc: 2,
+                addr: base + (i * 16384) % (6 << 20),
+                pattern: PatternId(0),
+                value: i,
+            });
+        }
+    }
+    ops
+}
+
+#[test]
+fn per_channel_stats_merge_exactly_to_totals() {
+    use gsdram_core::stats::ReportStats;
+    let mut m = Machine::new(SystemConfig::table1(1, 8 << 20).with_channels(4));
+    let base = m.malloc(6 << 20);
+    let mut p = ScriptedProgram::new(channel_spread_ops(base));
+    let r = run_one(&mut m, &mut p);
+
+    assert_eq!(r.dram_channels.len(), 4);
+    // Folding the per-channel counters reproduces the merged totals
+    // exactly — nothing double-counted, nothing dropped.
+    let mut dram = gsdram_dram::controller::ControllerStats::default();
+    let mut energy = gsdram_dram::energy::EnergyBreakdown::default();
+    let mut reads = 0u64;
+    let mut writes = 0u64;
+    for ch in &r.dram_channels {
+        dram.merge(&ch.dram);
+        energy.merge(&ch.energy);
+        reads += ch.load.reads;
+        writes += ch.load.writes;
+    }
+    assert_eq!(dram, r.dram);
+    assert_eq!(energy, r.dram_energy);
+    assert_eq!(reads, r.dram.reads, "routed reads == serviced reads");
+    assert_eq!(writes, r.dram.writes, "routed writes == serviced writes");
+    // More than one channel actually saw traffic.
+    let busy = r.dram_channels.iter().filter(|c| c.dram.reads > 0).count();
+    assert!(busy >= 2, "workload must spread over channels, got {busy}");
+
+    // The stats tree exposes the per-channel subtree…
+    let node = r.stats_node("run");
+    assert_eq!(
+        node.counter_at("dram_channels/ch0/enq_reads"),
+        Some(r.dram_channels[0].load.reads)
+    );
+    assert!(node.counter_at("dram_channels/ch3/dram/reads").is_some());
+
+    // …and a single-channel run must NOT have one (frozen baselines).
+    let mut m1 = Machine::new(SystemConfig::table1(1, 8 << 20));
+    let mut p1 = ScriptedProgram::new(channel_spread_ops(m1.malloc(6 << 20)));
+    let r1 = run_one(&mut m1, &mut p1);
+    assert_eq!(r1.dram_channels.len(), 1);
+    let json = r1.stats_node("run").to_json_pretty();
+    assert!(
+        !json.contains("dram_channels"),
+        "single-channel reports must stay channel-subtree-free"
+    );
+}
+
+#[test]
+fn sharded_run_is_byte_identical_to_serial() {
+    use gsdram_core::stats::ReportStats;
+    let run = |shard: bool| {
+        let cfg = SystemConfig::table1(1, 8 << 20).with_channels(4);
+        let cfg = if shard { cfg.with_shard() } else { cfg };
+        let mut m = Machine::new(cfg);
+        let base = m.malloc(6 << 20);
+        let mut p = ScriptedProgram::new(channel_spread_ops(base));
+        let r = run_one(&mut m, &mut p);
+        m.drain_caches();
+        let image: Vec<u64> = (0..64).map(|t| m.peek(base + t * 8192)).collect();
+        (r.stats_node("run").to_json_pretty(), image)
+    };
+    let serial = run(false);
+    let sharded = run(true);
+    assert!(
+        serial.0 == sharded.0,
+        "sharded stats JSON drifted from serial"
+    );
+    assert_eq!(serial.1, sharded.1, "sharded memory image drifted");
+}

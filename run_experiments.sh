@@ -32,6 +32,7 @@ extension_transpose
 extras_kvstore_graph
 pattern_stride_sweep
 pattern_indirect
+scale_channels
 "
 for exp in $EXPERIMENTS; do
     echo "=== $exp ==="
